@@ -1,0 +1,279 @@
+// Benchmarks regenerating the paper's evaluation (one per table/figure) at
+// test scale. cmd/ngdbench runs the full parameter sweeps and prints the
+// series; these testing.B entries give per-configuration timings and report
+// the deterministic cost metric each figure is plotted from
+// (cost_units/op for sequential work, makespan_units for parallel runs).
+package ngd_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ngd/internal/core"
+	"ngd/internal/detect"
+	"ngd/internal/gen"
+	"ngd/internal/graph"
+	"ngd/internal/inc"
+	"ngd/internal/par"
+	"ngd/internal/pattern"
+	"ngd/internal/reason"
+	"ngd/internal/update"
+)
+
+const (
+	benchEntities = 600
+	benchRules    = 24
+)
+
+type benchWorkload struct {
+	ds    *gen.Dataset
+	rules *core.Set
+	delta *graph.Delta
+	after *graph.Overlay
+}
+
+func mkBench(p gen.Profile, deltaFrac float64, seed int64) benchWorkload {
+	ds := gen.Generate(p, benchEntities, seed)
+	rules := gen.Rules(p, gen.RuleConfig{Count: benchRules, MaxDiameter: 5, Seed: seed})
+	var d *graph.Delta
+	var after *graph.Overlay
+	if deltaFrac > 0 {
+		d = update.Random(ds, update.Config{Size: update.SizeFor(ds.G, deltaFrac), Gamma: 1, Seed: seed * 31})
+		after = graph.NewOverlay(ds.G, d.Normalize(ds.G))
+	}
+	return benchWorkload{ds: ds, rules: rules, delta: d, after: after}
+}
+
+// benchVaryDelta is the Exp-1 shape (Figures 4a–4d): batch recompute vs
+// incremental at a given ΔG fraction.
+func benchVaryDelta(b *testing.B, p gen.Profile, frac float64) {
+	w := mkBench(p, frac, 1)
+	b.Run("Dect", func(b *testing.B) {
+		var work float64
+		for i := 0; i < b.N; i++ {
+			r := detect.Dect(w.after, w.rules, detect.Options{})
+			work = float64(r.Counters.Candidates + r.Counters.Checks)
+		}
+		b.ReportMetric(work, "cost_units")
+	})
+	b.Run("IncDect", func(b *testing.B) {
+		var work float64
+		for i := 0; i < b.N; i++ {
+			r := inc.IncDect(w.ds.G, w.rules, w.delta, inc.Options{})
+			work = float64(r.Counters.Candidates + r.Counters.Checks)
+		}
+		b.ReportMetric(work, "cost_units")
+	})
+	b.Run("PDect", func(b *testing.B) {
+		var span float64
+		for i := 0; i < b.N; i++ {
+			span = par.PDect(w.after, w.rules, par.Hybrid(8)).Metrics.Makespan
+		}
+		b.ReportMetric(span, "makespan_units")
+	})
+	b.Run("PIncDect", func(b *testing.B) {
+		var span float64
+		for i := 0; i < b.N; i++ {
+			span = par.PIncDect(w.ds.G, w.rules, w.delta, par.Hybrid(8)).Metrics.Makespan
+		}
+		b.ReportMetric(span, "makespan_units")
+	})
+}
+
+func BenchmarkFig4aVaryDeltaDBpedia(b *testing.B) {
+	for _, pct := range []int{5, 15, 25, 35} {
+		b.Run(fmt.Sprintf("delta%d", pct), func(b *testing.B) {
+			benchVaryDelta(b, gen.DBpedia, float64(pct)/100)
+		})
+	}
+}
+
+func BenchmarkFig4bVaryDeltaYago(b *testing.B) {
+	for _, pct := range []int{5, 15, 25, 35} {
+		b.Run(fmt.Sprintf("delta%d", pct), func(b *testing.B) {
+			benchVaryDelta(b, gen.YAGO2, float64(pct)/100)
+		})
+	}
+}
+
+func BenchmarkFig4cVaryDeltaPokec(b *testing.B) {
+	for _, pct := range []int{5, 15, 25, 40} {
+		b.Run(fmt.Sprintf("delta%d", pct), func(b *testing.B) {
+			benchVaryDelta(b, gen.Pokec, float64(pct)/100)
+		})
+	}
+}
+
+func BenchmarkFig4dVaryDeltaSynthetic(b *testing.B) {
+	for _, pct := range []int{5, 15, 25, 35} {
+		b.Run(fmt.Sprintf("delta%d", pct), func(b *testing.B) {
+			benchVaryDelta(b, gen.Synthetic, float64(pct)/100)
+		})
+	}
+}
+
+// BenchmarkFig4eVaryG: Exp-2 (vary |G|) — incremental vs batch at three
+// synthetic graph sizes, ΔG = 15%.
+func BenchmarkFig4eVaryG(b *testing.B) {
+	for _, n := range []int{400, 800, 1600} {
+		ds := gen.Generate(gen.Synthetic, n, 1)
+		rules := gen.Rules(gen.Synthetic, gen.RuleConfig{Count: benchRules, MaxDiameter: 5, Seed: 1})
+		d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.15), Gamma: 1, Seed: 31})
+		after := graph.NewOverlay(ds.G, d.Normalize(ds.G))
+		b.Run(fmt.Sprintf("n%d/Dect", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				detect.Dect(after, rules, detect.Options{})
+			}
+		})
+		b.Run(fmt.Sprintf("n%d/IncDect", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				inc.IncDect(ds.G, rules, d, inc.Options{})
+			}
+		})
+	}
+}
+
+// BenchmarkFig4fVarySigmaDBpedia / Fig4g: Exp-3, vary ‖Σ‖.
+func benchVarySigma(b *testing.B, p gen.Profile) {
+	ds := gen.Generate(p, benchEntities, 1)
+	d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.15), Gamma: 1, Seed: 31})
+	for _, k := range []int{10, 25, 50} {
+		rules := gen.Rules(p, gen.RuleConfig{Count: k, MaxDiameter: 5, Seed: 1})
+		b.Run(fmt.Sprintf("sigma%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				inc.IncDect(ds.G, rules, d, inc.Options{})
+			}
+		})
+	}
+}
+
+func BenchmarkFig4fVarySigmaDBpedia(b *testing.B) { benchVarySigma(b, gen.DBpedia) }
+func BenchmarkFig4gVarySigmaYago(b *testing.B)    { benchVarySigma(b, gen.YAGO2) }
+
+// BenchmarkFig4hVaryDiameter: Exp-3, vary dΣ on the DBpedia profile.
+func BenchmarkFig4hVaryDiameter(b *testing.B) {
+	ds := gen.Generate(gen.DBpedia, benchEntities, 1)
+	d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.15), Gamma: 1, Seed: 31})
+	for _, diam := range []int{2, 4, 6} {
+		rules := gen.Rules(gen.DBpedia, gen.RuleConfig{Count: benchRules, MaxDiameter: diam, Seed: 1})
+		b.Run(fmt.Sprintf("d%d", diam), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				inc.IncDect(ds.G, rules, d, inc.Options{})
+			}
+		})
+	}
+}
+
+// benchVaryP is the Exp-4 scalability shape (Figures 4i–4l): simulated
+// makespan as p grows, hybrid vs the NO variant.
+func benchVaryP(b *testing.B, p gen.Profile) {
+	w := mkBench(p, 0.15, 1)
+	for _, workers := range []int{4, 12, 20} {
+		b.Run(fmt.Sprintf("p%d/hybrid", workers), func(b *testing.B) {
+			var span float64
+			for i := 0; i < b.N; i++ {
+				span = par.PIncDect(w.ds.G, w.rules, w.delta, par.Hybrid(workers)).Metrics.Makespan
+			}
+			b.ReportMetric(span, "makespan_units")
+		})
+		b.Run(fmt.Sprintf("p%d/NO", workers), func(b *testing.B) {
+			var span float64
+			for i := 0; i < b.N; i++ {
+				span = par.PIncDect(w.ds.G, w.rules, w.delta, par.VariantNO(workers)).Metrics.Makespan
+			}
+			b.ReportMetric(span, "makespan_units")
+		})
+	}
+}
+
+func BenchmarkFig4iVaryPDBpedia(b *testing.B)   { benchVaryP(b, gen.DBpedia) }
+func BenchmarkFig4jVaryPYago(b *testing.B)      { benchVaryP(b, gen.YAGO2) }
+func BenchmarkFig4kVaryPPokec(b *testing.B)     { benchVaryP(b, gen.Pokec) }
+func BenchmarkFig4lVaryPSynthetic(b *testing.B) { benchVaryP(b, gen.Synthetic) }
+
+// BenchmarkFig4mVaryC: Exp-4, the latency-parameter sweep on Pokec.
+func BenchmarkFig4mVaryC(b *testing.B) {
+	w := mkBench(gen.Pokec, 0.15, 1)
+	for _, c := range []int{20, 60, 100} {
+		opts := par.Hybrid(8)
+		opts.C = c
+		b.Run(fmt.Sprintf("C%d", c), func(b *testing.B) {
+			var span float64
+			for i := 0; i < b.N; i++ {
+				span = par.PIncDect(w.ds.G, w.rules, w.delta, opts).Metrics.Makespan
+			}
+			b.ReportMetric(span, "makespan_units")
+		})
+	}
+}
+
+// BenchmarkFig4nVaryIntvl: Exp-4, the balancing-interval sweep on YAGO2.
+func BenchmarkFig4nVaryIntvl(b *testing.B) {
+	w := mkBench(gen.YAGO2, 0.15, 1)
+	for _, iv := range []float64{700, 2100, 3500} {
+		opts := par.Hybrid(8)
+		opts.Intvl = iv
+		b.Run(fmt.Sprintf("intvl%.0f", iv), func(b *testing.B) {
+			var span float64
+			for i := 0; i < b.N; i++ {
+				span = par.PIncDect(w.ds.G, w.rules, w.delta, opts).Metrics.Makespan
+			}
+			b.ReportMetric(span, "makespan_units")
+		})
+	}
+}
+
+// BenchmarkExp5Effectiveness: the error-catching study.
+func BenchmarkExp5Effectiveness(b *testing.B) {
+	for _, p := range []gen.Profile{gen.DBpedia, gen.YAGO2, gen.Pokec} {
+		ds := gen.Generate(p, benchEntities, 1)
+		rules := gen.EffectivenessRules(p)
+		b.Run(p.Name, func(b *testing.B) {
+			var caught int
+			for i := 0; i < b.N; i++ {
+				r := detect.Dect(ds.G, rules, detect.Options{})
+				caught = len(r.Violations)
+			}
+			b.ReportMetric(float64(caught), "violations")
+			b.ReportMetric(float64(len(ds.Errors)), "injected")
+		})
+	}
+}
+
+// BenchmarkReasoning: §4 static analyses on the Example 5 rule sets.
+func BenchmarkReasoning(b *testing.B) {
+	phi5 := singleRule("phi5", []string{"x.A = 7", "x.B = 7"})
+	phi6 := singleRule("phi6", []string{"x.A + x.B = 11"})
+	set := core.NewSet(phi5, phi6)
+	b.Run("SatisfiabilityConflict", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if v, err := reason.Satisfiable(set, reason.Options{}); err != nil || v != reason.No {
+				b.Fatalf("unexpected: %v %v", v, err)
+			}
+		}
+	})
+	b.Run("Implication", func(b *testing.B) {
+		weaker := singleRule("weak", []string{"x.A >= 0"})
+		one := core.NewSet(singleRule("s", []string{"x.A = 7"}))
+		for i := 0; i < b.N; i++ {
+			if v, err := reason.Implies(one, weaker, reason.Options{}); err != nil || v != reason.Yes {
+				b.Fatalf("unexpected: %v %v", v, err)
+			}
+		}
+	})
+}
+
+func singleRule(name string, then []string) *core.NGD {
+	q := corePat()
+	var t []core.Literal
+	for _, s := range then {
+		t = append(t, core.MustLiteral(s))
+	}
+	return core.MustNew(name, q, nil, t)
+}
+
+func corePat() *pattern.Pattern {
+	q := pattern.New()
+	q.AddNode("x", "_")
+	return q
+}

@@ -1,0 +1,345 @@
+// Command ngdbench regenerates the evaluation of Fan et al. (SIGMOD 2018),
+// Figures 4(a)–4(n) and the Exp-5 effectiveness study, at a configurable
+// scale (see DESIGN.md for the scale mapping and EXPERIMENTS.md for
+// paper-vs-measured results).
+//
+// All series are reported in deterministic cost units (1 unit = one
+// adjacency entry scanned or one edge checked): sequential algorithms
+// report their total work, parallel algorithms the simulated makespan of
+// the virtual cluster driver, so every column is directly comparable and
+// machine-independent.
+//
+// Usage:
+//
+//	ngdbench [-n entities] [-seed s] [-rules k] <experiment>
+//
+// where experiment is one of: fig4a fig4b fig4c fig4d fig4e fig4f fig4g
+// fig4h fig4i fig4j fig4k fig4l fig4m fig4n exp5 reason all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ngd/internal/core"
+	"ngd/internal/detect"
+	"ngd/internal/expr"
+	"ngd/internal/gen"
+	"ngd/internal/graph"
+	"ngd/internal/inc"
+	"ngd/internal/par"
+	"ngd/internal/pattern"
+	"ngd/internal/reason"
+	"ngd/internal/update"
+)
+
+var (
+	nEntities = flag.Int("n", 1200, "entities per generated graph (scale knob)")
+	seed      = flag.Int64("seed", 1, "base RNG seed")
+	nRules    = flag.Int("rules", 50, "rules in Σ (the paper's default)")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ngdbench [flags] <fig4a..fig4n|exp5|reason|all>")
+		os.Exit(2)
+	}
+	exp := flag.Arg(0)
+	experiments := map[string]func(){
+		"fig4a":  func() { varyDelta(gen.DBpedia, []int{5, 10, 15, 20, 25, 30, 35}) },
+		"fig4b":  func() { varyDelta(gen.YAGO2, []int{5, 10, 15, 20, 25, 30, 35}) },
+		"fig4c":  func() { varyDelta(gen.Pokec, []int{5, 10, 15, 20, 25, 30, 35, 40}) },
+		"fig4d":  func() { varyDelta(gen.Synthetic, []int{5, 10, 15, 20, 25, 30, 35}) },
+		"fig4e":  varyG,
+		"fig4f":  func() { varySigma(gen.DBpedia) },
+		"fig4g":  func() { varySigma(gen.YAGO2) },
+		"fig4h":  varyDiameter,
+		"fig4i":  func() { varyP(gen.DBpedia) },
+		"fig4j":  func() { varyP(gen.YAGO2) },
+		"fig4k":  func() { varyP(gen.Pokec) },
+		"fig4l":  func() { varyP(gen.Synthetic) },
+		"fig4m":  varyC,
+		"fig4n":  varyIntvl,
+		"exp5":   exp5,
+		"reason": reasonDemo,
+	}
+	if exp == "all" {
+		for _, name := range []string{"fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
+			"fig4g", "fig4h", "fig4i", "fig4j", "fig4k", "fig4l", "fig4m", "fig4n", "exp5", "reason"} {
+			experiments[name]()
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := experiments[exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
+		os.Exit(2)
+	}
+	run()
+}
+
+// ---- measurement helpers ----
+
+// ku formats cost units in thousands.
+func ku(v float64) string { return fmt.Sprintf("%8.1f", v/1000) }
+
+type workload struct {
+	ds    *gen.Dataset
+	rules *core.Set
+	delta *graph.Delta
+}
+
+func makeWorkload(p gen.Profile, entities, rules, maxDiam int, deltaFrac float64, s int64) workload {
+	ds := gen.Generate(p, entities, s)
+	rs := gen.Rules(p, gen.RuleConfig{Count: rules, MaxDiameter: maxDiam, Seed: s})
+	var d *graph.Delta
+	if deltaFrac > 0 {
+		d = update.Random(ds, update.Config{
+			Size:  update.SizeFor(ds.G, deltaFrac),
+			Gamma: 1,
+			Seed:  s * 31,
+		})
+	}
+	return workload{ds: ds, rules: rs, delta: d}
+}
+
+func dectWork(v graph.View, rules *core.Set) float64 {
+	r := detect.Dect(v, rules, detect.Options{})
+	return float64(r.Counters.Candidates + r.Counters.Checks)
+}
+
+func incWork(g *graph.Graph, rules *core.Set, d *graph.Delta) float64 {
+	r := inc.IncDect(g, rules, d, inc.Options{})
+	return float64(r.Counters.Candidates + r.Counters.Checks)
+}
+
+// ---- Exp-1: vary |ΔG| (Figures 4a–4d) ----
+
+func varyDelta(p gen.Profile, pcts []int) {
+	w0 := makeWorkload(p, *nEntities, *nRules, 5, 0, *seed)
+	st := w0.ds.G.ComputeStats()
+	fmt.Printf("# fig4(a-d) %s: |V|=%d |E|=%d, ‖Σ‖=%d, dΣ=5, p=8; cost kilounits\n",
+		p.Name, st.Nodes, st.Edges, *nRules)
+	fmt.Printf("%-8s %10s %10s %10s %10s %12s %12s %12s\n",
+		"ΔG%", "Dect", "IncDect", "PDect", "PIncDect", "PIncDect_ns", "PIncDect_nb", "PIncDect_NO")
+	for _, pct := range pcts {
+		w := makeWorkload(p, *nEntities, *nRules, 5, float64(pct)/100, *seed)
+		norm := w.delta.Normalize(w.ds.G)
+		after := graph.NewOverlay(w.ds.G, norm)
+
+		dect := dectWork(after, w.rules)
+		incD := incWork(w.ds.G, w.rules, w.delta)
+		pdect := par.PDect(after, w.rules, par.Hybrid(8)).Metrics.Makespan
+		hyb := par.PIncDect(w.ds.G, w.rules, w.delta, par.Hybrid(8)).Metrics.Makespan
+		ns := par.PIncDect(w.ds.G, w.rules, w.delta, par.VariantNS(8)).Metrics.Makespan
+		nb := par.PIncDect(w.ds.G, w.rules, w.delta, par.VariantNB(8)).Metrics.Makespan
+		no := par.PIncDect(w.ds.G, w.rules, w.delta, par.VariantNO(8)).Metrics.Makespan
+		fmt.Printf("%-8d %s %s %s %s   %s   %s   %s\n",
+			pct, ku(dect), ku(incD), ku(pdect), ku(hyb), ku(ns), ku(nb), ku(no))
+	}
+}
+
+// ---- Exp-2: vary |G| (Figure 4e) ----
+
+func varyG() {
+	sizes := []int{*nEntities / 2, *nEntities, *nEntities * 3 / 2, *nEntities * 2, *nEntities * 5 / 2}
+	fmt.Printf("# fig4e synthetic: vary |G| at ΔG=15%%, ‖Σ‖=%d, p=8; cost kilounits\n", *nRules)
+	fmt.Printf("%-16s %10s %10s %10s %10s\n", "|V|/|E|", "Dect", "IncDect", "PDect", "PIncDect")
+	for _, n := range sizes {
+		w := makeWorkload(gen.Synthetic, n, *nRules, 5, 0.15, *seed)
+		st := w.ds.G.ComputeStats()
+		norm := w.delta.Normalize(w.ds.G)
+		after := graph.NewOverlay(w.ds.G, norm)
+		dect := dectWork(after, w.rules)
+		incD := incWork(w.ds.G, w.rules, w.delta)
+		pdect := par.PDect(after, w.rules, par.Hybrid(8)).Metrics.Makespan
+		hyb := par.PIncDect(w.ds.G, w.rules, w.delta, par.Hybrid(8)).Metrics.Makespan
+		fmt.Printf("%-16s %s %s %s %s\n",
+			fmt.Sprintf("%d/%d", st.Nodes, st.Edges), ku(dect), ku(incD), ku(pdect), ku(hyb))
+	}
+}
+
+// ---- Exp-3: vary ‖Σ‖ (4f, 4g) and dΣ (4h) ----
+
+func varySigma(p gen.Profile) {
+	fmt.Printf("# fig4(f,g) %s: vary ‖Σ‖ at ΔG=15%%, dΣ=5, p=8; cost kilounits\n", p.Name)
+	fmt.Printf("%-8s %10s %10s %10s %10s\n", "‖Σ‖", "Dect", "IncDect", "PDect", "PIncDect")
+	for _, k := range []int{50, 60, 70, 80, 90, 100} {
+		w := makeWorkload(p, *nEntities, k, 5, 0.15, *seed)
+		norm := w.delta.Normalize(w.ds.G)
+		after := graph.NewOverlay(w.ds.G, norm)
+		dect := dectWork(after, w.rules)
+		incD := incWork(w.ds.G, w.rules, w.delta)
+		pdect := par.PDect(after, w.rules, par.Hybrid(8)).Metrics.Makespan
+		hyb := par.PIncDect(w.ds.G, w.rules, w.delta, par.Hybrid(8)).Metrics.Makespan
+		fmt.Printf("%-8d %s %s %s %s\n", k, ku(dect), ku(incD), ku(pdect), ku(hyb))
+	}
+}
+
+func varyDiameter() {
+	fmt.Printf("# fig4h dbpedia: vary dΣ at ΔG=15%%, ‖Σ‖=%d, p=8; cost kilounits\n", *nRules)
+	fmt.Printf("%-8s %10s %10s %10s %10s\n", "dΣ", "Dect", "IncDect", "PDect", "PIncDect")
+	for _, d := range []int{2, 3, 4, 5, 6} {
+		w := makeWorkload(gen.DBpedia, *nEntities, *nRules, d, 0.15, *seed)
+		norm := w.delta.Normalize(w.ds.G)
+		after := graph.NewOverlay(w.ds.G, norm)
+		dect := dectWork(after, w.rules)
+		incD := incWork(w.ds.G, w.rules, w.delta)
+		pdect := par.PDect(after, w.rules, par.Hybrid(8)).Metrics.Makespan
+		hyb := par.PIncDect(w.ds.G, w.rules, w.delta, par.Hybrid(8)).Metrics.Makespan
+		fmt.Printf("%-8d %s %s %s %s\n", d, ku(dect), ku(incD), ku(pdect), ku(hyb))
+	}
+}
+
+// ---- Exp-4: vary p (4i–4l), C (4m), intvl (4n) ----
+
+func varyP(p gen.Profile) {
+	w := makeWorkload(p, *nEntities, *nRules, 5, 0.15, *seed)
+	fmt.Printf("# fig4(i-l) %s: vary p at ΔG=15%%, ‖Σ‖=%d; makespan kilounits\n", p.Name, *nRules)
+	fmt.Printf("%-6s %10s %10s %12s %12s %12s\n", "p", "PDect", "PIncDect", "PIncDect_ns", "PIncDect_nb", "PIncDect_NO")
+	norm := w.delta.Normalize(w.ds.G)
+	after := graph.NewOverlay(w.ds.G, norm)
+	for _, pp := range []int{4, 8, 12, 16, 20} {
+		pdect := par.PDect(after, w.rules, par.Hybrid(pp)).Metrics.Makespan
+		hyb := par.PIncDect(w.ds.G, w.rules, w.delta, par.Hybrid(pp)).Metrics.Makespan
+		ns := par.PIncDect(w.ds.G, w.rules, w.delta, par.VariantNS(pp)).Metrics.Makespan
+		nb := par.PIncDect(w.ds.G, w.rules, w.delta, par.VariantNB(pp)).Metrics.Makespan
+		no := par.PIncDect(w.ds.G, w.rules, w.delta, par.VariantNO(pp)).Metrics.Makespan
+		fmt.Printf("%-6d %s %s   %s   %s   %s\n", pp, ku(pdect), ku(hyb), ku(ns), ku(nb), ku(no))
+	}
+}
+
+func varyC() {
+	w := makeWorkload(gen.Pokec, *nEntities, *nRules, 5, 0.15, *seed)
+	fmt.Printf("# fig4m pokec: vary latency parameter C at p=8 (true latency 60); makespan kilounits\n")
+	fmt.Printf("%-6s %10s %12s\n", "C", "PIncDect", "PIncDect_nb")
+	for _, c := range []int{20, 40, 60, 80, 100} {
+		hy := par.Hybrid(8)
+		hy.C = c
+		nb := par.VariantNB(8)
+		nb.C = c
+		h := par.PIncDect(w.ds.G, w.rules, w.delta, hy).Metrics.Makespan
+		n := par.PIncDect(w.ds.G, w.rules, w.delta, nb).Metrics.Makespan
+		fmt.Printf("%-6d %s   %s\n", c, ku(h), ku(n))
+	}
+}
+
+func varyIntvl() {
+	w := makeWorkload(gen.YAGO2, *nEntities, *nRules, 5, 0.15, *seed)
+	fmt.Printf("# fig4n yago2: vary balancing interval at p=8 (≈45 units per paper-second); makespan kilounits\n")
+	fmt.Printf("%-10s %10s %12s\n", "intvl", "PIncDect", "PIncDect_ns")
+	for _, iv := range []float64{700, 1400, 2100, 2800, 3500} {
+		hy := par.Hybrid(8)
+		hy.Intvl = iv
+		ns := par.VariantNS(8)
+		ns.Intvl = iv
+		h := par.PIncDect(w.ds.G, w.rules, w.delta, hy).Metrics.Makespan
+		n := par.PIncDect(w.ds.G, w.rules, w.delta, ns).Metrics.Makespan
+		fmt.Printf("%-10.0f %s   %s\n", iv, ku(h), ku(n))
+	}
+}
+
+// ---- Exp-5: effectiveness ----
+
+func exp5() {
+	fmt.Printf("# exp5: errors caught by the full archetype rule set (ground truth = injected)\n")
+	fmt.Printf("%-12s %9s %8s %10s %12s %12s\n", "graph", "injected", "caught", "violations", "NGD-only", "GFD-expressible")
+	for _, p := range []gen.Profile{gen.DBpedia, gen.YAGO2, gen.Pokec} {
+		ds := gen.Generate(p, *nEntities, *seed)
+		rules := gen.EffectivenessRules(p)
+		res := detect.Dect(ds.G, rules, detect.Options{})
+
+		caught := map[graph.NodeID]bool{}
+		ngdOnly, gfdExpr := 0, 0
+		for _, v := range res.Violations {
+			for i, pv := range v.Rule.Pattern.Nodes {
+				if pv.Label != "integer" {
+					caught[v.Match[i]] = true
+				}
+			}
+			if isGFDExpressible(v.Rule) {
+				gfdExpr++
+			} else {
+				ngdOnly++
+			}
+		}
+		caughtInjected := 0
+		for _, e := range ds.Errors {
+			if caught[e.Entity] {
+				caughtInjected++
+			}
+		}
+		total := ngdOnly + gfdExpr
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(ngdOnly) / float64(total)
+		}
+		fmt.Printf("%-12s %9d %8d %10d %7d (%2.0f%%) %12d\n",
+			p.Name, len(ds.Errors), caughtInjected, total, ngdOnly, pct, gfdExpr)
+	}
+	fmt.Println("# (paper: 415/212/568 errors in DBpedia/YAGO2/Pokec; 92% catchable only by NGDs)")
+}
+
+// isGFDExpressible: no arithmetic operators and only (in)equality with
+// constants/terms — the GFD fragment of NGDs.
+func isGFDExpressible(r *core.NGD) bool {
+	bare := func(e *expr.Expr) bool {
+		return e.Op == expr.OpConst || e.Op == expr.OpStr || e.Op == expr.OpVar
+	}
+	for _, l := range append(append([]core.Literal{}, r.X...), r.Y...) {
+		if l.Op != expr.Eq && l.Op != expr.Ne {
+			return false
+		}
+		if !bare(l.L) || !bare(l.R) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- reasoning demo (§4 worked examples) ----
+
+func reasonDemo() {
+	fmt.Printf("# reason: §4 worked examples (Example 5)\n")
+	mk := func(name string, when, then []string) *core.NGD {
+		q := corePattern1()
+		var w, t []core.Literal
+		for _, s := range when {
+			w = append(w, core.MustLiteral(s))
+		}
+		for _, s := range then {
+			t = append(t, core.MustLiteral(s))
+		}
+		return core.MustNew(name, q, w, t)
+	}
+	phi5 := mk("phi5", nil, []string{"x.A = 7", "x.B = 7"})
+	phi6 := mk("phi6", nil, []string{"x.A + x.B = 11"})
+	phi7 := mk("phi7", []string{"x.A <= 3"}, []string{"x.B > 6"})
+	phi8 := mk("phi8", []string{"x.A > 3"}, []string{"x.B > 6"})
+	phi9 := mk("phi9", nil, []string{"x.B < 6", "x.A != 0"})
+
+	report := func(label string, set *core.Set) {
+		start := time.Now()
+		v, err := reason.Satisfiable(set, reason.Options{})
+		if err != nil {
+			fmt.Printf("  %-18s error: %v\n", label, err)
+			return
+		}
+		fmt.Printf("  %-18s satisfiable=%-7v (%v)\n", label, v, time.Since(start).Round(time.Microsecond))
+	}
+	report("{phi5}", core.NewSet(phi5))
+	report("{phi6}", core.NewSet(phi6))
+	report("{phi5,phi6}", core.NewSet(phi5, phi6))
+	report("{phi7,phi8,phi9}", core.NewSet(phi7, phi8, phi9))
+	report("{phi7,phi8}", core.NewSet(phi7, phi8))
+}
+
+func corePattern1() *pattern.Pattern {
+	q := pattern.New()
+	q.AddNode("x", "_")
+	return q
+}

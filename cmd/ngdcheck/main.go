@@ -1,0 +1,120 @@
+// Command ngdcheck detects NGD violations in a graph file, in batch or
+// incremental mode.
+//
+// Usage:
+//
+//	ngdcheck -rules rules.ngd -graph g.txt [-update delta.txt] [-p 8] [-limit n]
+//
+// Without -update it runs batch detection (Dect, or PDect when -p > 1) and
+// prints Vio(Σ, G). With -update it runs incremental detection (IncDect /
+// PIncDect) and prints ΔVio⁺ and ΔVio⁻.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ngd"
+)
+
+var (
+	rulesPath  = flag.String("rules", "", "rule file (required)")
+	graphPath  = flag.String("graph", "", "graph file (required)")
+	updatePath = flag.String("update", "", "update file (optional: incremental mode)")
+	workers    = flag.Int("p", 1, "parallel workers (1 = sequential)")
+	limit      = flag.Int("limit", 0, "stop after this many violations (0 = all)")
+	quiet      = flag.Bool("q", false, "print only counts")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ngdcheck: ")
+	flag.Parse()
+	if *rulesPath == "" || *graphPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rf, err := os.Open(*rulesPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules, err := ngd.ParseRules(rf)
+	rf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gf, err := os.Open(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, ids, err := ngd.LoadGraph(gf)
+	gf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges; Σ: %d rules (dΣ=%d)\n",
+		g.NumNodes(), g.NumEdges(), rules.Len(), rules.Diameter())
+
+	if *updatePath == "" {
+		runBatch(g, rules)
+		return
+	}
+	uf, err := os.Open(*updatePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	delta, err := ngd.LoadDelta(uf, g, ids)
+	uf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	runIncremental(g, rules, delta)
+}
+
+func runBatch(g *ngd.Graph, rules *ngd.RuleSet) {
+	var vios []ngd.Violation
+	if *workers > 1 {
+		opts := ngd.Parallel(*workers)
+		opts.Limit = *limit
+		res, met := ngd.PDetect(g, rules, opts)
+		vios = res.Violations
+		fmt.Printf("PDect p=%d: %d work units, simulated makespan %.0f\n",
+			*workers, met.Units, met.Makespan)
+	} else if *limit > 0 {
+		vios = ngd.DetectLimit(g, rules, *limit).Violations
+	} else {
+		vios = ngd.Detect(g, rules).Violations
+	}
+	fmt.Printf("violations: %d\n", len(vios))
+	printVios(vios)
+}
+
+func runIncremental(g *ngd.Graph, rules *ngd.RuleSet, delta *ngd.Delta) {
+	fmt.Printf("ΔG: %d unit updates\n", delta.Len())
+	var dv *ngd.DeltaVio
+	if *workers > 1 {
+		res, met := ngd.PIncDetect(g, rules, delta, ngd.Parallel(*workers))
+		dv = res
+		fmt.Printf("PIncDect p=%d: %d work units, %d splits, %d moved, simulated makespan %.0f\n",
+			*workers, met.Units, met.Splits, met.Moved, met.Makespan)
+	} else {
+		dv = ngd.IncDetect(g, rules, delta)
+	}
+	fmt.Printf("ΔVio⁺: %d new violations\n", len(dv.Plus))
+	printVios(dv.Plus)
+	fmt.Printf("ΔVio⁻: %d removed violations\n", len(dv.Minus))
+	printVios(dv.Minus)
+}
+
+func printVios(vios []ngd.Violation) {
+	if *quiet {
+		return
+	}
+	for _, v := range vios {
+		fmt.Printf("  %s\n", v)
+	}
+}

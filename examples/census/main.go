@@ -1,0 +1,137 @@
+// Census consistency + rule reasoning: the paper's φ3 (population vs.
+// population rank, Example 1(3)) on a DBpedia-style fragment, followed by
+// the static analyses of §4 — satisfiability of conflicting rule sets
+// (Example 5) and implication-based rule-set optimization.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ngd"
+)
+
+func main() {
+	fmt.Println("== φ3: population/rank consistency ==")
+	g := ngd.NewGraph()
+	state := g.AddNode("place")
+	g.SetAttr(state, "name", ngd.Str("California"))
+	census := g.AddNode("date")
+	g.SetAttr(census, "val", ngd.Int(20140401))
+
+	// city data: (name, population, rank) — Corona vs Downey reproduces
+	// the DBpedia error: Corona has more people but a worse (higher) rank
+	cities := []struct {
+		name string
+		pop  int64
+		rank int64
+	}{
+		{"Fresno", 520000, 5},
+		{"Sacramento", 500000, 6},
+		{"Corona", 160000, 33},
+		{"Downey", 111772, 11},
+	}
+	for _, c := range cities {
+		city := g.AddNode("place")
+		g.SetAttr(city, "name", ngd.Str(c.name))
+		g.AddEdge(city, state, "partof")
+		g.AddEdge(city, census, "date")
+		pop := g.AddNode("integer")
+		g.SetAttr(pop, "val", ngd.Int(c.pop))
+		g.AddEdge(city, pop, "population")
+		rank := g.AddNode("integer")
+		g.SetAttr(rank, "val", ngd.Int(c.rank))
+		g.AddEdge(city, rank, "populationRank")
+	}
+
+	phi3 := buildPhi3()
+	res := ngd.Detect(g, ngd.NewRuleSet(phi3))
+	fmt.Printf("violations: %d\n", len(res.Violations))
+	for _, v := range res.Violations {
+		x := v.Match[v.Rule.Pattern.VarIndex("x")]
+		y := v.Match[v.Rule.Pattern.VarIndex("y")]
+		nx, _ := g.AttrByName(x, "name").AsString()
+		ny, _ := g.AttrByName(y, "name").AsString()
+		fmt.Printf("  %s has fewer people than %s but a better rank\n", nx, ny)
+	}
+
+	fmt.Println("\n== §4: satisfiability (Example 5) ==")
+	phi5 := singleRule("phi5", nil, []string{"x.A = 7", "x.B = 7"})
+	phi6 := singleRule("phi6", nil, []string{"x.A + x.B = 11"})
+	report := func(name string, set *ngd.RuleSet) {
+		v, err := ngd.Satisfiable(set)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s satisfiable: %v\n", name, v)
+	}
+	report("{φ5}", ngd.NewRuleSet(phi5))
+	report("{φ6}", ngd.NewRuleSet(phi6))
+	report("{φ5, φ6}", ngd.NewRuleSet(phi5, phi6)) // conflicting: no
+
+	fmt.Println("\n== §4: implication (redundant rule pruning) ==")
+	// data-quality engineers often accumulate redundant rules; implication
+	// analysis removes them: a 1-hop drift bound entails the 2-hop bound
+	oneHop := driftRule("drift1", 1, 50)
+	twoHop := driftRule("drift2", 2, 100)
+	v, err := ngd.Implies(ngd.NewRuleSet(oneHop), twoHop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  drift1 ⊨ drift2: %v (drift2 is redundant, drop it)\n", v)
+	tight := driftRule("tight", 2, 80)
+	v, err = ngd.Implies(ngd.NewRuleSet(oneHop), tight)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  drift1 ⊨ tight:  %v (the 80 bound adds real constraints)\n", v)
+}
+
+func buildPhi3() *ngd.Rule {
+	q := ngd.NewPattern()
+	x := q.AddNode("x", "place")
+	y := q.AddNode("y", "place")
+	z := q.AddNode("z", "place")
+	w := q.AddNode("w", "date")
+	m1 := q.AddNode("m1", "integer")
+	n1 := q.AddNode("n1", "integer")
+	m2 := q.AddNode("m2", "integer")
+	n2 := q.AddNode("n2", "integer")
+	q.AddEdge(x, z, "partof")
+	q.AddEdge(y, z, "partof")
+	q.AddEdge(x, w, "date")
+	q.AddEdge(y, w, "date")
+	q.AddEdge(x, m1, "population")
+	q.AddEdge(x, n1, "populationRank")
+	q.AddEdge(y, m2, "population")
+	q.AddEdge(y, n2, "populationRank")
+	return ngd.MustRule("phi3", q,
+		[]ngd.Literal{ngd.MustLiteral("m1.val < m2.val")},
+		[]ngd.Literal{ngd.MustLiteral("n1.val > n2.val")},
+	)
+}
+
+func singleRule(name string, when []string, then []string) *ngd.Rule {
+	q := ngd.NewPattern()
+	q.AddNode("x", "_")
+	var w, t []ngd.Literal
+	for _, s := range when {
+		w = append(w, ngd.MustLiteral(s))
+	}
+	for _, s := range then {
+		t = append(t, ngd.MustLiteral(s))
+	}
+	return ngd.MustRule(name, q, w, t)
+}
+
+func driftRule(name string, hops int, bound int64) *ngd.Rule {
+	q := ngd.NewPattern()
+	prev := q.AddNode("x0", "sensor")
+	for i := 1; i <= hops; i++ {
+		cur := q.AddNode(fmt.Sprintf("x%d", i), "sensor")
+		q.AddEdge(prev, cur, "linked")
+		prev = cur
+	}
+	lit := ngd.MustLiteral(fmt.Sprintf("abs(x0.reading - x%d.reading) <= %d", hops, bound))
+	return ngd.MustRule(name, q, nil, []ngd.Literal{lit})
+}

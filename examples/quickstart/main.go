@@ -1,0 +1,78 @@
+// Quickstart: catch the paper's first motivating inconsistency (Example 1):
+// Yago records that BBC Trust was created in 2007 but destroyed in 1946.
+// The NGD φ1 = Q1[x,y,z](∅ → z.val − y.val ≥ 365) states that an entity
+// cannot be destroyed within a year of its creation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ngd"
+)
+
+const rules = `
+rule phi1 {
+  match {
+    x: _
+    y: date
+    z: date
+    x -wasCreatedOnDate-> y
+    x -wasDestroyedOnDate-> z
+  }
+  when {
+  }
+  then {
+    z.val - y.val >= 365
+  }
+}
+`
+
+func main() {
+	// Build the Yago fragment G1 of Figure 1.
+	g := ngd.NewGraph()
+	trust := g.AddNode("institution")
+	g.SetAttr(trust, "name", ngd.Str("BBC_Trust"))
+	created := g.AddNode("date")
+	g.SetAttr(created, "val", ngd.Int(dayNumber(2007, 1, 1)))
+	destroyed := g.AddNode("date")
+	g.SetAttr(destroyed, "val", ngd.Int(dayNumber(1946, 8, 28)))
+	g.AddEdge(trust, created, "wasCreatedOnDate")
+	g.AddEdge(trust, destroyed, "wasDestroyedOnDate")
+
+	set, err := ngd.ParseRules(strings.NewReader(rules))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if ngd.Validate(g, set) {
+		fmt.Println("graph is consistent")
+		return
+	}
+	res := ngd.Detect(g, set)
+	fmt.Printf("found %d violation(s):\n", len(res.Violations))
+	for _, v := range res.Violations {
+		x := v.Match[v.Rule.Pattern.VarIndex("x")]
+		fmt.Printf("  rule %s: entity %q destroyed before it was created\n",
+			v.Rule.Name, mustStr(g.AttrByName(x, "name")))
+	}
+}
+
+func mustStr(v ngd.Value) string {
+	s, _ := v.AsString()
+	return s
+}
+
+// dayNumber converts a date to a day count (differences are what matter).
+func dayNumber(y, m, d int) int64 {
+	if m <= 2 {
+		y--
+		m += 12
+	}
+	era := y / 400
+	yoe := y - era*400
+	doy := (153*(m-3)+2)/5 + d - 1
+	doe := yoe*365 + yoe/4 - yoe/100 + doy
+	return int64(era)*146097 + int64(doe)
+}

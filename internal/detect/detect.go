@@ -1,0 +1,173 @@
+// Package detect implements batch error detection with NGDs: Dect, the
+// sequential counterpart of the parallel batch algorithm the paper extends
+// from GFDs (§5.1). Given Σ and G it computes Vio(Σ,G), the set of matches
+// h(x̄) with h ⊨ X and h ⊭ Y for some φ = Q[x̄](X → Y) ∈ Σ.
+//
+// The violation search prunes with literals as soon as their variables are
+// instantiated (paper §6.2 step (3)): a falsified X-literal cuts the branch
+// (the match cannot satisfy the precondition); once every Y-literal has
+// evaluated true the branch is cut too (the match cannot violate).
+package detect
+
+import (
+	"ngd/internal/core"
+	"ngd/internal/graph"
+	"ngd/internal/match"
+	"ngd/internal/pattern"
+)
+
+// Options tune detection.
+type Options struct {
+	// Limit stops after this many violations (0 = unlimited).
+	Limit int
+}
+
+// Compiled bundles a rule with its pattern compiled against a graph's
+// symbols and a literal evaluation schedule for a particular plan.
+type Compiled struct {
+	Rule *core.NGD
+	CP   *pattern.Compiled
+}
+
+// CompileRule resolves the rule's pattern against syms.
+func CompileRule(r *core.NGD, syms *graph.Symbols) *Compiled {
+	return &Compiled{Rule: r, CP: pattern.Compile(r.Pattern, syms)}
+}
+
+// litSchedule assigns each literal to the earliest plan step at which all of
+// its variables are bound (-1 = evaluable from the pre-bound nodes alone).
+type litSchedule struct {
+	xAt [][]int // xAt[k+1] = X-literal indices evaluable after step k (xAt[0]: pre-bound)
+	yAt [][]int
+}
+
+func buildSchedule(rule *core.NGD, plan *match.Plan) litSchedule {
+	n := len(plan.Steps)
+	sched := litSchedule{
+		xAt: make([][]int, n+1),
+		yAt: make([][]int, n+1),
+	}
+	bound := make(map[int]int, len(rule.Pattern.Nodes)) // node idx -> step+1
+	for _, b := range plan.Bound {
+		bound[b] = 0
+	}
+	for k, st := range plan.Steps {
+		bound[st.Node] = k + 1
+	}
+	place := func(lits []core.Literal, at [][]int) {
+		for i, l := range lits {
+			latest := 0
+			for _, v := range l.Vars() {
+				idx := rule.Pattern.VarIndex(v)
+				if s, ok := bound[idx]; ok && s > latest {
+					latest = s
+				}
+			}
+			at[latest] = append(at[latest], i)
+		}
+	}
+	place(rule.X, sched.xAt)
+	place(rule.Y, sched.yAt)
+	return sched
+}
+
+// Searcher runs violation enumeration for one rule over one view, with
+// pruning. It is reused by the incremental algorithms with pre-bound pivots.
+type Searcher struct {
+	G    graph.View
+	C    *Compiled
+	Plan *match.Plan
+
+	le   *LitEval
+	ySat []int // per-depth cumulative count of satisfied Y literals
+	m    *match.Matcher
+}
+
+// NewSearcher prepares a violation search for rule c over g using plan.
+func NewSearcher(g graph.View, c *Compiled, plan *match.Plan) *Searcher {
+	s := &Searcher{G: g, C: c, Plan: plan, le: NewLitEval(g, c, plan)}
+	s.ySat = make([]int, len(plan.Steps)+1)
+	return s
+}
+
+// Run enumerates violations extending partial (pre-bound nodes already set,
+// and already verified with match.VerifyBound by the caller when pivots are
+// used). emit returning false stops the search. It returns the work
+// counters of the underlying matcher.
+func (s *Searcher) Run(partial []graph.NodeID, emit func(core.Match) bool) match.Counters {
+	// An empty Y is the empty conjunction — true — so nothing can violate.
+	if s.le.NumY() == 0 {
+		return match.Counters{}
+	}
+
+	prune, ySat0 := s.le.EvalLevel(0, partial, 0)
+	if prune {
+		return match.Counters{}
+	}
+	s.ySat[0] = ySat0
+
+	hooks := match.Hooks{
+		OnExtend: func(k int, p []graph.NodeID) bool {
+			prune, ySat := s.le.EvalLevel(k+1, p, s.ySat[k])
+			if prune {
+				return false
+			}
+			s.ySat[k+1] = ySat
+			return true
+		},
+	}
+	s.m = match.NewMatcher(s.G, s.Plan, hooks)
+	s.m.Run(partial, func(p []graph.NodeID) bool {
+		// all X held (pruned otherwise); violation iff some Y failed
+		if s.ySat[len(s.Plan.Steps)] < s.le.NumY() {
+			return emit(core.Match(append([]graph.NodeID(nil), p...)))
+		}
+		return true
+	})
+	return s.m.Stat
+}
+
+// Result of a batch detection run.
+type Result struct {
+	Violations []core.Violation
+	Counters   match.Counters
+}
+
+// Dect computes Vio(Σ, G) sequentially (the yardstick batch algorithm).
+func Dect(g graph.View, rules *core.Set, opts Options) *Result {
+	res := &Result{}
+	for _, r := range rules.Rules {
+		c := CompileRule(r, g.Symbols())
+		plan := match.BuildPlan(c.CP, nil, match.GraphSelectivity(g, c.CP))
+		s := NewSearcher(g, c, plan)
+		partial := match.NewPartial(len(r.Pattern.Nodes))
+		stat := s.Run(partial, func(m core.Match) bool {
+			res.Violations = append(res.Violations, core.Violation{Rule: r, Match: m})
+			return opts.Limit == 0 || len(res.Violations) < opts.Limit
+		})
+		res.Counters.Candidates += stat.Candidates
+		res.Counters.Checks += stat.Checks
+		res.Counters.Matches += stat.Matches
+		if opts.Limit > 0 && len(res.Violations) >= opts.Limit {
+			break
+		}
+	}
+	return res
+}
+
+// Validate decides G ⊨ Σ (the validation problem, Corollary 4): true iff
+// Vio(Σ,G) = ∅.
+func Validate(g graph.View, rules *core.Set) bool {
+	r := Dect(g, rules, Options{Limit: 1})
+	return len(r.Violations) == 0
+}
+
+// VioKeySet builds the dedup key set of a violation list (for diffing in
+// tests and the incremental equivalence checks).
+func VioKeySet(vs []core.Violation) map[string]core.Violation {
+	m := make(map[string]core.Violation, len(vs))
+	for _, v := range vs {
+		m[v.Key()] = v
+	}
+	return m
+}

@@ -1,0 +1,82 @@
+package detect
+
+import (
+	"ngd/internal/core"
+	"ngd/internal/expr"
+	"ngd/internal/graph"
+	"ngd/internal/match"
+)
+
+// LitEval evaluates a rule's literals level-by-level along a plan: level 0
+// covers literals whose variables are all pre-bound (update pivots), level
+// k+1 those completed by plan step k. It is the literal-pruning engine of
+// §6.2 step (3), shared by the sequential Searcher and the parallel workers
+// (which carry explicit work units instead of a recursion stack).
+//
+// A LitEval is immutable after construction and safe for concurrent use;
+// per-call state lives in the caller's partial solution and ySat counter.
+type LitEval struct {
+	Rule  *core.NGD
+	G     graph.View
+	sched litSchedule
+}
+
+// NewLitEval builds the evaluation schedule of rule c along plan.
+func NewLitEval(g graph.View, c *Compiled, plan *match.Plan) *LitEval {
+	return &LitEval{Rule: c.Rule, G: g, sched: buildSchedule(c.Rule, plan)}
+}
+
+// NumY reports |Y|; a match violates iff ySat < NumY at completion.
+func (le *LitEval) NumY() int { return len(le.Rule.Y) }
+
+// HasLits reports whether any literal is scheduled at level lv (callers can
+// skip binding construction otherwise).
+func (le *LitEval) HasLits(lv int) bool {
+	return len(le.sched.xAt[lv]) > 0 || len(le.sched.yAt[lv]) > 0
+}
+
+// Levels reports the number of levels (len(plan.Steps)+1).
+func (le *LitEval) Levels() int { return len(le.sched.xAt) }
+
+func (le *LitEval) binding(partial []graph.NodeID) expr.Binding {
+	syms := le.G.Symbols()
+	p := le.Rule.Pattern
+	return func(variable, attr string) (graph.Value, bool) {
+		idx := p.VarIndex(variable)
+		if idx < 0 || idx >= len(partial) || partial[idx] == match.Unbound {
+			return graph.Value{}, false
+		}
+		a := syms.LookupAttr(attr)
+		if a < 0 {
+			return graph.Value{}, false
+		}
+		v := le.G.Attr(partial[idx], a)
+		return v, v.Valid()
+	}
+}
+
+// EvalLevel evaluates the literals scheduled at level lv against partial.
+// It returns prune=true when the branch cannot yield a violation (an
+// X-literal failed, or all |Y| literals are now known satisfied), and the
+// updated ySat count otherwise.
+func (le *LitEval) EvalLevel(lv int, partial []graph.NodeID, ySat int) (prune bool, newYSat int) {
+	xs, ys := le.sched.xAt[lv], le.sched.yAt[lv]
+	if len(xs) == 0 && len(ys) == 0 {
+		if ySat == len(le.Rule.Y) {
+			return true, ySat
+		}
+		return false, ySat
+	}
+	b := le.binding(partial)
+	for _, i := range xs {
+		if !le.Rule.X[i].Satisfied(b) {
+			return true, ySat
+		}
+	}
+	for _, i := range ys {
+		if le.Rule.Y[i].Satisfied(b) {
+			ySat++
+		}
+	}
+	return ySat == len(le.Rule.Y), ySat
+}

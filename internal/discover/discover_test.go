@@ -1,0 +1,97 @@
+package discover
+
+import (
+	"strings"
+	"testing"
+
+	"ngd/internal/core"
+	"ngd/internal/detect"
+	"ngd/internal/gen"
+	"ngd/internal/graph"
+)
+
+// TestMineRecoversPlantedInvariants: on a clean generated graph (no
+// injected errors) the miner must rediscover the planted p1+p2=p3 sum
+// invariant and the p4 ≥ p5 order invariant.
+func TestMineRecoversPlantedInvariants(t *testing.T) {
+	p := gen.YAGO2
+	p.ErrorRate = 0 // clean data: exact dependencies hold
+	ds := gen.Generate(p, 400, 3)
+
+	rules := Mine(ds.G, Options{MinSupport: 8, MaxEdges: 3, MaxRules: 5000})
+	if len(rules) == 0 {
+		t.Fatal("no rules mined")
+	}
+	foundSum, foundOrder := false, false
+	for _, d := range rules {
+		s := d.Rule.String()
+		if strings.Contains(s, "+") && strings.Contains(s, "=") {
+			foundSum = true
+		}
+		if strings.Contains(s, ">=") || strings.Contains(s, "<=") {
+			foundOrder = true
+		}
+	}
+	if !foundSum {
+		t.Error("sum invariant p1+p2=p3 not rediscovered")
+	}
+	if !foundOrder {
+		t.Error("order invariant p4 >= p5 not rediscovered")
+	}
+}
+
+// TestMinedRulesHold: every rule mined with MinConf=1 must validate on the
+// graph it was mined from (zero violations) — the miner's exactness
+// contract.
+func TestMinedRulesHold(t *testing.T) {
+	p := gen.Pokec
+	p.ErrorRate = 0
+	ds := gen.Generate(p, 300, 9)
+	rules := Mine(ds.G, Options{MinSupport: 5, MaxRules: 60})
+	for _, d := range rules {
+		if !detect.Validate(ds.G, coreSet(d)) {
+			t.Errorf("mined rule %s is violated on its own training graph", d.Rule)
+		}
+		if d.Support < 5 {
+			t.Errorf("rule %s has support %d below threshold", d.Rule.Name, d.Support)
+		}
+	}
+}
+
+// TestMinedRulesCatchInjectedErrors: rules mined on clean data catch
+// corruption when the same profile is generated with errors.
+func TestMinedRulesCatchInjectedErrors(t *testing.T) {
+	clean := gen.YAGO2
+	clean.ErrorRate = 0
+	dsClean := gen.Generate(clean, 400, 5)
+	mined := Mine(dsClean.G, Options{MinSupport: 8, MaxRules: 200})
+	if len(mined) == 0 {
+		t.Skip("no rules mined at this scale")
+	}
+	set := coreSetAll(mined)
+
+	dirty := gen.YAGO2
+	dirty.ErrorRate = 0.05
+	dsDirty := gen.Generate(dirty, 400, 6)
+	res := detect.Dect(dsDirty.G, set, detect.Options{})
+	if len(dsDirty.Errors) > 0 && len(res.Violations) == 0 {
+		t.Errorf("mined rules caught nothing on dirty data (%d injected errors)", len(dsDirty.Errors))
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.New()
+	if rules := Mine(g, Options{}); len(rules) != 0 {
+		t.Errorf("mined %d rules from empty graph", len(rules))
+	}
+}
+
+func coreSet(d Discovered) *core.Set { return coreSetAll([]Discovered{d}) }
+
+func coreSetAll(ds []Discovered) *core.Set {
+	set := core.NewSet()
+	for _, d := range ds {
+		set.Add(d.Rule)
+	}
+	return set
+}

@@ -1,0 +1,215 @@
+package dsl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"ngd/internal/graph"
+)
+
+// Graph file format, line oriented ('#' comments):
+//
+//	node <id> <label> [attr=value ...]
+//	edge <srcid> <label> <dstid>
+//
+// Update file format (applies against a previously loaded graph; new nodes
+// may be declared inline):
+//
+//	node <id> <label> [attr=value ...]
+//	insert <srcid> <label> <dstid>
+//	delete <srcid> <label> <dstid>
+//
+// ids are arbitrary tokens without whitespace; string attribute values are
+// Go-quoted.
+
+// LoadGraph reads the graph format. It returns the graph and the id→node
+// mapping (useful for later update files).
+func LoadGraph(r io.Reader) (*graph.Graph, map[string]graph.NodeID, error) {
+	g := graph.New()
+	ids := make(map[string]graph.NodeID)
+	err := scanLines(r, func(line int, fields []string) error {
+		switch fields[0] {
+		case "node":
+			if len(fields) < 3 {
+				return fmt.Errorf("line %d: node needs id and label", line)
+			}
+			if _, dup := ids[fields[1]]; dup {
+				return fmt.Errorf("line %d: duplicate node id %q", line, fields[1])
+			}
+			v := g.AddNode(fields[2])
+			ids[fields[1]] = v
+			for _, kv := range fields[3:] {
+				if err := setAttr(g, v, kv); err != nil {
+					return fmt.Errorf("line %d: %v", line, err)
+				}
+			}
+		case "edge":
+			if len(fields) != 4 {
+				return fmt.Errorf("line %d: edge needs `edge src label dst`", line)
+			}
+			src, ok1 := ids[fields[1]]
+			dst, ok2 := ids[fields[3]]
+			if !ok1 || !ok2 {
+				return fmt.Errorf("line %d: edge references unknown node", line)
+			}
+			g.AddEdge(src, dst, fields[2])
+		default:
+			return fmt.Errorf("line %d: unknown directive %q", line, fields[0])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, ids, nil
+}
+
+// LoadDelta reads an update file against g, adding any declared new nodes
+// to g and returning the edge delta.
+func LoadDelta(r io.Reader, g *graph.Graph, ids map[string]graph.NodeID) (*graph.Delta, error) {
+	d := &graph.Delta{}
+	err := scanLines(r, func(line int, fields []string) error {
+		switch fields[0] {
+		case "node":
+			if len(fields) < 3 {
+				return fmt.Errorf("line %d: node needs id and label", line)
+			}
+			if _, dup := ids[fields[1]]; dup {
+				return fmt.Errorf("line %d: duplicate node id %q", line, fields[1])
+			}
+			v := g.AddNode(fields[2])
+			ids[fields[1]] = v
+			for _, kv := range fields[3:] {
+				if err := setAttr(g, v, kv); err != nil {
+					return fmt.Errorf("line %d: %v", line, err)
+				}
+			}
+		case "insert", "delete":
+			if len(fields) != 4 {
+				return fmt.Errorf("line %d: %s needs `src label dst`", line, fields[0])
+			}
+			src, ok1 := ids[fields[1]]
+			dst, ok2 := ids[fields[3]]
+			if !ok1 || !ok2 {
+				return fmt.Errorf("line %d: %s references unknown node", line, fields[0])
+			}
+			l := g.Symbols().Label(fields[2])
+			if fields[0] == "insert" {
+				d.Insert(src, dst, l)
+			} else {
+				d.Delete(src, dst, l)
+			}
+		default:
+			return fmt.Errorf("line %d: unknown directive %q", line, fields[0])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WriteGraph renders g in the graph format with node ids "n<index>".
+func WriteGraph(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < g.NumNodes(); v++ {
+		fmt.Fprintf(bw, "node n%d %s", v, g.LabelName(graph.NodeID(v)))
+		g.Attrs(graph.NodeID(v), func(a graph.AttrID, val graph.Value) {
+			fmt.Fprintf(bw, " %s=%s", g.Symbols().AttrName(a), val)
+		})
+		fmt.Fprintln(bw)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, h := range g.Out(graph.NodeID(v)) {
+			fmt.Fprintf(bw, "edge n%d %s n%d\n", v, g.Symbols().LabelName(h.Label), h.To)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteDelta renders d in the update format (nodes are assumed present).
+func WriteDelta(w io.Writer, g *graph.Graph, d *graph.Delta) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range d.Ops {
+		verb := "delete"
+		if op.Insert {
+			verb = "insert"
+		}
+		fmt.Fprintf(bw, "%s n%d %s n%d\n", verb, op.Src, g.Symbols().LabelName(op.Label), op.Dst)
+	}
+	return bw.Flush()
+}
+
+func setAttr(g *graph.Graph, v graph.NodeID, kv string) error {
+	i := strings.IndexByte(kv, '=')
+	if i <= 0 {
+		return fmt.Errorf("bad attribute %q (want name=value)", kv)
+	}
+	val, err := graph.ParseValue(kv[i+1:])
+	if err != nil {
+		return err
+	}
+	g.SetAttr(v, kv[:i], val)
+	return nil
+}
+
+// scanLines tokenizes non-empty, non-comment lines. Quoted strings in
+// attribute values survive because fields are split on spaces outside
+// quotes.
+func scanLines(r io.Reader, fn func(line int, fields []string) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || s[0] == '#' {
+			continue
+		}
+		fields := splitQuoted(s)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := fn(line, fields); err != nil {
+			return fmt.Errorf("dsl: %w", err)
+		}
+	}
+	return sc.Err()
+}
+
+// splitQuoted splits on whitespace, keeping double-quoted spans (with
+// backslash escapes) intact.
+func splitQuoted(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQ := false
+	esc := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case esc:
+			cur.WriteRune(r)
+			esc = false
+		case r == '\\' && inQ:
+			cur.WriteRune(r)
+			esc = true
+		case r == '"':
+			cur.WriteRune(r)
+			inQ = !inQ
+		case (r == ' ' || r == '\t') && !inQ:
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,329 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// token kinds
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tNum
+	tStr
+	tIdent
+	tSym // single/double char operator, stored in text
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	tok  token
+	err  error
+	next *token // one-token lookahead buffer
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src}
+	l.advance()
+	return l
+}
+
+func (l *lexer) fail(pos int, format string, args ...any) {
+	if l.err == nil {
+		l.err = fmt.Errorf("expr: %s at offset %d in %q", fmt.Sprintf(format, args...), pos, l.src)
+	}
+	l.tok = token{kind: tEOF, pos: pos}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) peek() token {
+	if l.next == nil {
+		saved := l.tok
+		l.advance()
+		nt := l.tok
+		l.next = &nt
+		l.tok = saved
+	}
+	return *l.next
+}
+
+func (l *lexer) advance() {
+	if l.next != nil {
+		l.tok = *l.next
+		l.next = nil
+		return
+	}
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' ||
+		l.src[l.pos] == '\n' || l.src[l.pos] == '\r') {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		l.tok = token{kind: tEOF, pos: start}
+		return
+	}
+	c := l.src[l.pos]
+	switch {
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		n, err := strconv.ParseInt(l.src[start:l.pos], 10, 64)
+		if err != nil {
+			l.fail(start, "integer out of range")
+			return
+		}
+		l.tok = token{kind: tNum, num: n, pos: start}
+	case c == '"':
+		i := l.pos + 1
+		for i < len(l.src) && l.src[i] != '"' {
+			if l.src[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(l.src) {
+			l.fail(start, "unterminated string")
+			return
+		}
+		s, err := strconv.Unquote(l.src[start : i+1])
+		if err != nil {
+			l.fail(start, "bad string literal")
+			return
+		}
+		l.pos = i + 1
+		l.tok = token{kind: tStr, text: s, pos: start}
+	case isIdentStart(rune(c)):
+		i := l.pos
+		for i < len(l.src) && isIdentPart(rune(l.src[i])) {
+			i++
+		}
+		l.tok = token{kind: tIdent, text: l.src[l.pos:i], pos: start}
+		l.pos = i
+	default:
+		// one- and two-character symbols
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "!=", "<>", "==":
+			l.tok = token{kind: tSym, text: two, pos: start}
+			l.pos += 2
+			return
+		}
+		switch c {
+		case '+', '-', '*', '/', '(', ')', '|', '.', '=', '<', '>', ',':
+			l.tok = token{kind: tSym, text: string(c), pos: start}
+			l.pos++
+		default:
+			l.fail(start, "unexpected character %q", string(c))
+		}
+	}
+}
+
+func (l *lexer) isSym(s string) bool {
+	return l.tok.kind == tSym && l.tok.text == s
+}
+
+// Parse parses an arithmetic expression in the rule DSL syntax:
+//
+//	e := t | abs(e) | |e| | e+e | e−e | e×e (as *) | e÷e (as /) | (e) | -e
+//	t := integer | "string" | x.A
+//
+// Linearity is not enforced here (NGD construction enforces it) so the
+// non-linear extension of §4 can be represented and rejected by reasoning.
+func Parse(src string) (*Expr, error) {
+	l := newLexer(src)
+	e := parseExpr(l)
+	if l.err != nil {
+		return nil, l.err
+	}
+	if l.tok.kind != tEOF {
+		return nil, fmt.Errorf("expr: trailing input at offset %d in %q", l.tok.pos, src)
+	}
+	return e, nil
+}
+
+// ParseComparison parses a literal "e1 ⊗ e2" with ⊗ one of = == != <> < <= > >=.
+func ParseComparison(src string) (*Expr, Cmp, *Expr, error) {
+	l := newLexer(src)
+	lhs := parseExpr(l)
+	if l.err != nil {
+		return nil, 0, nil, l.err
+	}
+	var op Cmp
+	if l.tok.kind != tSym {
+		return nil, 0, nil, fmt.Errorf("expr: expected comparison operator at offset %d in %q", l.tok.pos, src)
+	}
+	switch l.tok.text {
+	case "=", "==":
+		op = Eq
+	case "!=", "<>":
+		op = Ne
+	case "<":
+		op = Lt
+	case "<=":
+		op = Le
+	case ">":
+		op = Gt
+	case ">=":
+		op = Ge
+	default:
+		return nil, 0, nil, fmt.Errorf("expr: bad comparison operator %q in %q", l.tok.text, src)
+	}
+	l.advance()
+	rhs := parseExpr(l)
+	if l.err != nil {
+		return nil, 0, nil, l.err
+	}
+	if l.tok.kind != tEOF {
+		return nil, 0, nil, fmt.Errorf("expr: trailing input at offset %d in %q", l.tok.pos, src)
+	}
+	return lhs, op, rhs, nil
+}
+
+func parseExpr(l *lexer) *Expr {
+	e := parseTerm(l)
+	for l.err == nil {
+		switch {
+		case l.isSym("+"):
+			l.advance()
+			e = Add(e, parseTerm(l))
+		case l.isSym("-"):
+			l.advance()
+			e = Sub(e, parseTerm(l))
+		default:
+			return e
+		}
+	}
+	return e
+}
+
+func parseTerm(l *lexer) *Expr {
+	e := parseUnary(l)
+	for l.err == nil {
+		switch {
+		case l.isSym("*"):
+			l.advance()
+			e = Mul(e, parseUnary(l))
+		case l.isSym("/"):
+			l.advance()
+			e = Div(e, parseUnary(l))
+		default:
+			return e
+		}
+	}
+	return e
+}
+
+func parseUnary(l *lexer) *Expr {
+	if l.isSym("-") {
+		l.advance()
+		inner := parseUnary(l)
+		// fold -c into a constant so "x = -3" round-trips
+		if inner != nil && inner.Op == OpConst && inner.Const != minInt64 {
+			return C(-inner.Const)
+		}
+		return Neg(inner)
+	}
+	return parsePrimary(l)
+}
+
+func parsePrimary(l *lexer) *Expr {
+	switch {
+	case l.tok.kind == tNum:
+		e := C(l.tok.num)
+		l.advance()
+		return e
+	case l.tok.kind == tStr:
+		e := S(l.tok.text)
+		l.advance()
+		return e
+	case l.tok.kind == tIdent:
+		name := l.tok.text
+		if name == "abs" && l.peek().kind == tSym && l.peek().text == "(" {
+			l.advance() // abs
+			l.advance() // (
+			inner := parseExpr(l)
+			if !l.isSym(")") {
+				l.fail(l.tok.pos, "expected ')' closing abs")
+				return nil
+			}
+			l.advance()
+			return Abs(inner)
+		}
+		l.advance()
+		if !l.isSym(".") {
+			l.fail(l.tok.pos, "expected '.' after variable %q (terms are x.A)", name)
+			return nil
+		}
+		l.advance()
+		if l.tok.kind != tIdent {
+			l.fail(l.tok.pos, "expected attribute name after %q.", name)
+			return nil
+		}
+		attr := l.tok.text
+		l.advance()
+		return V(name, attr)
+	case l.isSym("("):
+		l.advance()
+		e := parseExpr(l)
+		if !l.isSym(")") {
+			l.fail(l.tok.pos, "expected ')'")
+			return nil
+		}
+		l.advance()
+		return e
+	case l.isSym("|"):
+		l.advance()
+		e := parseExpr(l)
+		if !l.isSym("|") {
+			l.fail(l.tok.pos, "expected closing '|'")
+			return nil
+		}
+		l.advance()
+		return Abs(e)
+	default:
+		l.fail(l.tok.pos, "expected expression")
+		return nil
+	}
+}
+
+// MustParse is Parse for tests and static rule tables; it panics on error.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// FormatComparison renders "lhs op rhs" re-parseable by ParseComparison.
+func FormatComparison(l *Expr, op Cmp, r *Expr) string {
+	var b strings.Builder
+	b.WriteString(l.String())
+	b.WriteByte(' ')
+	b.WriteString(op.String())
+	b.WriteByte(' ')
+	b.WriteString(r.String())
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package gen
+
+import (
+	"testing"
+
+	"ngd/internal/graph"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(YAGO2, 200, 42)
+	b := Generate(YAGO2, 200, 42)
+	if a.G.NumNodes() != b.G.NumNodes() || a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatal("generation not deterministic")
+	}
+	if len(a.Errors) != len(b.Errors) {
+		t.Fatal("error injection not deterministic")
+	}
+	c := Generate(YAGO2, 200, 43)
+	if a.G.NumEdges() == c.G.NumEdges() && len(a.Errors) == len(c.Errors) {
+		t.Log("warning: different seeds produced identical stats (possible but unlikely)")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	n := 300
+	ds := Generate(Pokec, n, 7)
+	// every entity carries its 7-property star
+	if len(ds.Entities) != n || len(ds.PropNode) != n {
+		t.Fatalf("entities = %d, props = %d", len(ds.Entities), len(ds.PropNode))
+	}
+	if ds.G.NumNodes() != n*8 {
+		t.Errorf("nodes = %d, want %d (entity + 7 properties each)", ds.G.NumNodes(), n*8)
+	}
+	valAttr := ds.G.Symbols().LookupAttr("val")
+	for i, props := range ds.PropNode {
+		for p, pn := range props {
+			if !ds.G.Attr(pn, valAttr).Valid() {
+				t.Fatalf("entity %d property %d missing val", i, p)
+			}
+		}
+	}
+	// hubs exist and attract follows edges
+	if len(ds.Hubs) == 0 {
+		t.Fatal("no hubs")
+	}
+	follows := ds.G.Symbols().LookupLabel("follows")
+	maxIn := 0
+	for _, h := range ds.Hubs {
+		in := 0
+		for _, e := range ds.G.In(h) {
+			if e.Label == follows {
+				in++
+			}
+		}
+		if in > maxIn {
+			maxIn = in
+		}
+	}
+	if maxIn < 10 {
+		t.Errorf("hub max follows in-degree = %d, want skew", maxIn)
+	}
+}
+
+// TestInvariantsHoldOnCleanEntities: for entities without injected errors,
+// the planted invariants must hold exactly.
+func TestInvariantsHoldOnCleanEntities(t *testing.T) {
+	ds := Generate(YAGO2, 400, 9)
+	bad := map[graph.NodeID]bool{}
+	for _, e := range ds.Errors {
+		bad[e.Entity] = true
+	}
+	valAttr := ds.G.Symbols().LookupAttr("val")
+	val := func(pn graph.NodeID) int64 {
+		v, _ := ds.G.Attr(pn, valAttr).AsInt()
+		return v
+	}
+	for i, ent := range ds.Entities {
+		if bad[ent] {
+			continue
+		}
+		p := ds.PropNode[i]
+		if val(p[1])+val(p[2]) != val(p[3]) {
+			t.Fatalf("clean entity %d: p1+p2 != p3", i)
+		}
+		if val(p[4]) < val(p[5]) {
+			t.Fatalf("clean entity %d: p4 < p5", i)
+		}
+		if val(p[6]) == 1 && val(p[2]) != 7 {
+			t.Fatalf("clean entity %d: flag=1 but p2=%d", i, val(p[2]))
+		}
+	}
+}
+
+// TestDriftInvariant: every relation/backbone edge between two clean
+// entities respects |Δp0| ≤ MaxDrift.
+func TestDriftInvariant(t *testing.T) {
+	ds := Generate(DBpedia, 400, 5)
+	bad := map[graph.NodeID]bool{}
+	for _, e := range ds.Errors {
+		if e.Kind == ErrScore {
+			bad[e.Entity] = true
+		}
+	}
+	valAttr := ds.G.Symbols().LookupAttr("val")
+	p0 := map[graph.NodeID]int64{}
+	for i, ent := range ds.Entities {
+		v, _ := ds.G.Attr(ds.PropNode[i][0], valAttr).AsInt()
+		p0[ent] = v
+	}
+	next := ds.G.Symbols().LookupLabel("next")
+	peer := ds.G.Symbols().LookupLabel("peer")
+	for _, ent := range ds.Entities {
+		if bad[ent] {
+			continue
+		}
+		for _, h := range ds.G.Out(ent) {
+			if h.Label != next && h.Label != peer {
+				continue
+			}
+			if bad[h.To] {
+				continue
+			}
+			d := p0[ent] - p0[h.To]
+			if d < 0 {
+				d = -d
+			}
+			if d > ds.Profile.MaxDrift {
+				t.Fatalf("drift %d > %d on clean edge", d, ds.Profile.MaxDrift)
+			}
+		}
+	}
+}
+
+func TestRulesGeneration(t *testing.T) {
+	for _, diam := range []int{2, 4, 6} {
+		set := Rules(YAGO2, RuleConfig{Count: 30, MaxDiameter: diam, Seed: 3})
+		if set.Len() != 30 {
+			t.Fatalf("rule count = %d", set.Len())
+		}
+		if d := set.Diameter(); d > diam {
+			t.Errorf("dΣ = %d exceeds requested %d", d, diam)
+		}
+	}
+	// dΣ=6 rule sets actually contain diameter-6 patterns
+	set := Rules(YAGO2, RuleConfig{Count: 60, MaxDiameter: 6, Seed: 3})
+	if set.Diameter() != 6 {
+		t.Errorf("requested dΣ=6 but got %d", set.Diameter())
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"dbpedia", "yago2", "pokec", "synthetic"} {
+		if p, ok := ProfileByName(name); !ok || p.Name != name {
+			t.Errorf("ProfileByName(%q) failed", name)
+		}
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("unknown profile resolved")
+	}
+}
+
+func TestEmptyGenerate(t *testing.T) {
+	ds := Generate(YAGO2, 0, 1)
+	if ds.G.NumNodes() != 0 || len(ds.Entities) != 0 {
+		t.Error("n=0 should produce empty dataset")
+	}
+}

@@ -1,0 +1,206 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ngd/internal/core"
+	"ngd/internal/expr"
+	"ngd/internal/pattern"
+)
+
+// RuleConfig controls synthesized rule sets Σ (the paper's §7 used 50–100
+// discovered NGDs with pattern diameters 1–6, 1–4 literals, trees, DAGs and
+// cyclic patterns; the archetypes below reproduce that mix against the
+// invariants the generator plants).
+type RuleConfig struct {
+	Count       int
+	MaxDiameter int // dΣ cap; chain archetypes are sized to reach it
+	Seed        int64
+}
+
+// Rules synthesizes a Σ of cfg.Count NGDs for graphs generated under p.
+func Rules(p Profile, cfg RuleConfig) *core.Set {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	set := core.NewSet()
+	maxChain := cfg.MaxDiameter - 2 // chain of L relation hops has diameter L+2
+	if maxChain < 1 {
+		maxChain = 1
+	}
+	chain := 1
+	for i := 0; set.Len() < cfg.Count; i++ {
+		t := rng.Intn(p.EntityTypes)
+		switch i % 7 {
+		case 0:
+			set.Add(SumRule(t, i))
+		case 1:
+			set.Add(OrderRule(t, i))
+		case 2:
+			set.Add(FlagRule(t, i))
+		case 3:
+			if cfg.MaxDiameter >= 3 {
+				set.Add(DriftChainRule(p, chain, i))
+				chain = chain%maxChain + 1
+			} else {
+				set.Add(SumRule(t, i))
+			}
+		case 4:
+			if cfg.MaxDiameter >= 3 {
+				set.Add(PeerCycleRule(p, i))
+			} else {
+				set.Add(OrderRule(t, i))
+			}
+		case 5:
+			if cfg.MaxDiameter >= 4 {
+				set.Add(SiblingRule(p, rng.Intn(p.RelLabels), i))
+			} else {
+				set.Add(FlagRule(t, i))
+			}
+		case 6:
+			if cfg.MaxDiameter >= 4 {
+				set.Add(FollowerRule(p, i))
+			} else {
+				set.Add(SumRule(t, i))
+			}
+		}
+	}
+	return set
+}
+
+// SumRule checks the sum invariant p3 = p1 + p2 on entities of type t
+// (φ2-style; tree pattern, diameter 2).
+func SumRule(t, id int) *core.NGD {
+	q := pattern.New()
+	x := q.AddNode("x", fmt.Sprintf("T%d", t))
+	a := q.AddNode("a", "integer")
+	b := q.AddNode("b", "integer")
+	c := q.AddNode("c", "integer")
+	q.AddEdge(x, a, "p1")
+	q.AddEdge(x, b, "p2")
+	q.AddEdge(x, c, "p3")
+	return core.MustNew(fmt.Sprintf("sum-T%d-%d", t, id), q, nil, []core.Literal{
+		core.Lit(expr.Add(expr.V("a", "val"), expr.V("b", "val")), expr.Eq, expr.V("c", "val")),
+	})
+}
+
+// OrderRule checks p4 ≥ p5 on entities of type t (tree, diameter 2).
+func OrderRule(t, id int) *core.NGD {
+	q := pattern.New()
+	x := q.AddNode("x", fmt.Sprintf("T%d", t))
+	a := q.AddNode("a", "integer")
+	b := q.AddNode("b", "integer")
+	q.AddEdge(x, a, "p4")
+	q.AddEdge(x, b, "p5")
+	return core.MustNew(fmt.Sprintf("order-T%d-%d", t, id), q, nil, []core.Literal{
+		core.Lit(expr.V("a", "val"), expr.Ge, expr.V("b", "val")),
+	})
+}
+
+// FlagRule checks the conditional constant flag=1 ⇒ p2=7 (a GFD/CFD-style
+// rule: constants and equality only, no arithmetic; tree, diameter 2).
+func FlagRule(t, id int) *core.NGD {
+	q := pattern.New()
+	x := q.AddNode("x", fmt.Sprintf("T%d", t))
+	f := q.AddNode("f", "integer")
+	c := q.AddNode("c", "integer")
+	q.AddEdge(x, f, "flag")
+	q.AddEdge(x, c, "p2")
+	return core.MustNew(fmt.Sprintf("flag-T%d-%d", t, id), q,
+		[]core.Literal{core.Lit(expr.V("f", "val"), expr.Eq, expr.C(1))},
+		[]core.Literal{core.Lit(expr.V("c", "val"), expr.Eq, expr.C(7))},
+	)
+}
+
+// DriftChainRule bounds score drift along a backbone path of hops relation
+// edges: |p0(x0) − p0(xL)| ≤ L·MaxDrift (path pattern, diameter hops+2,
+// wildcard interior nodes, |·| arithmetic).
+func DriftChainRule(p Profile, hops, id int) *core.NGD {
+	q := pattern.New()
+	prev := q.AddNode("x0", "_")
+	first := prev
+	for i := 1; i <= hops; i++ {
+		cur := q.AddNode(fmt.Sprintf("x%d", i), "_")
+		q.AddEdge(prev, cur, "next")
+		prev = cur
+	}
+	a := q.AddNode("a", "integer")
+	b := q.AddNode("b", "integer")
+	q.AddEdge(first, a, "p0")
+	q.AddEdge(prev, b, "p0")
+	bound := int64(hops) * p.MaxDrift
+	return core.MustNew(fmt.Sprintf("drift%d-%d", hops, id), q, nil, []core.Literal{
+		core.Lit(expr.Abs(expr.Sub(expr.V("a", "val"), expr.V("b", "val"))), expr.Le, expr.C(bound)),
+	})
+}
+
+// PeerCycleRule bounds drift across reciprocal peer edges (cyclic pattern:
+// x → y → x; diameter 3 including the property legs).
+func PeerCycleRule(p Profile, id int) *core.NGD {
+	q := pattern.New()
+	x := q.AddNode("x", "_")
+	y := q.AddNode("y", "_")
+	a := q.AddNode("a", "integer")
+	b := q.AddNode("b", "integer")
+	q.AddEdge(x, y, "peer")
+	q.AddEdge(y, x, "peer")
+	q.AddEdge(x, a, "p0")
+	q.AddEdge(y, b, "p0")
+	return core.MustNew(fmt.Sprintf("peer-%d", id), q, nil, []core.Literal{
+		core.Lit(expr.Abs(expr.Sub(expr.V("a", "val"), expr.V("b", "val"))), expr.Le, expr.C(p.MaxDrift)),
+	})
+}
+
+// SiblingRule is φ3-style: two entities x, y pointing at the same hub z via
+// relation R<k> have scores within 2·MaxDrift of each other; the conditional
+// form exercises a multi-literal X with arithmetic on both sides
+// (DAG pattern, diameter 4).
+func SiblingRule(p Profile, rel, id int) *core.NGD {
+	q := pattern.New()
+	x := q.AddNode("x", "_")
+	y := q.AddNode("y", "_")
+	z := q.AddNode("z", "_")
+	a := q.AddNode("a", "integer")
+	b := q.AddNode("b", "integer")
+	lbl := fmt.Sprintf("R%d", rel)
+	q.AddEdge(x, z, lbl)
+	q.AddEdge(y, z, lbl)
+	q.AddEdge(x, a, "p0")
+	q.AddEdge(y, b, "p0")
+	return core.MustNew(fmt.Sprintf("sibling-R%d-%d", rel, id), q,
+		[]core.Literal{core.Lit(expr.V("a", "val"), expr.Lt, expr.V("b", "val"))},
+		[]core.Literal{core.Lit(expr.Add(expr.V("a", "val"), expr.C(2*p.MaxDrift)), expr.Ge, expr.V("b", "val"))},
+	)
+}
+
+// FollowerRule bounds the p4 gap between two followers of the same hub
+// (φ4-style; DAG pattern through high-in-degree nodes, diameter 4). Its
+// matches enumerate follower pairs, so hubs turn it into the straggler
+// workload that exercises work-unit splitting. Violations require a p4
+// outlier — exactly what an injected order error produces.
+func FollowerRule(p Profile, id int) *core.NGD {
+	q := pattern.New()
+	x := q.AddNode("x", "_")
+	y := q.AddNode("y", "_")
+	z := q.AddNode("z", "_")
+	a := q.AddNode("a", "integer")
+	b := q.AddNode("b", "integer")
+	q.AddEdge(x, z, "follows")
+	q.AddEdge(y, z, "follows")
+	q.AddEdge(x, a, "p4")
+	q.AddEdge(y, b, "p4")
+	return core.MustNew(fmt.Sprintf("follower-%d", id), q, nil, []core.Literal{
+		core.Lit(expr.Abs(expr.Sub(expr.V("a", "val"), expr.V("b", "val"))), expr.Le, expr.C(p.ValueRange)),
+	})
+}
+
+// EffectivenessRules builds the Exp-5 rule set: full archetype coverage of
+// every entity type plus drift/peer rules, so every injected error kind is
+// catchable.
+func EffectivenessRules(p Profile) *core.Set {
+	set := core.NewSet()
+	for t := 0; t < p.EntityTypes; t++ {
+		set.Add(SumRule(t, t*3), OrderRule(t, t*3+1), FlagRule(t, t*3+2))
+	}
+	set.Add(DriftChainRule(p, 1, p.EntityTypes*3), PeerCycleRule(p, p.EntityTypes*3+1))
+	return set
+}

@@ -1,0 +1,127 @@
+package graph
+
+import "fmt"
+
+// EdgeOp is a unit update (paper §5.2): an edge insertion or deletion.
+type EdgeOp struct {
+	Insert bool
+	Src    NodeID
+	Dst    NodeID
+	Label  LabelID
+}
+
+func (op EdgeOp) String() string {
+	verb := "delete"
+	if op.Insert {
+		verb = "insert"
+	}
+	return fmt.Sprintf("%s(%d -%d-> %d)", verb, op.Src, op.Label, op.Dst)
+}
+
+// Delta is a batch update ΔG: a sequence of edge insertions and deletions.
+// Insertions may reference freshly added nodes (callers add those nodes to
+// the graph with AddNode before recording the edge op; isolated nodes do
+// not affect matches of connected patterns until their edges land).
+type Delta struct {
+	Ops []EdgeOp
+}
+
+// Insert records insert(u -label-> v).
+func (d *Delta) Insert(u, v NodeID, label LabelID) {
+	d.Ops = append(d.Ops, EdgeOp{Insert: true, Src: u, Dst: v, Label: label})
+}
+
+// Delete records delete(u -label-> v).
+func (d *Delta) Delete(u, v NodeID, label LabelID) {
+	d.Ops = append(d.Ops, EdgeOp{Insert: false, Src: u, Dst: v, Label: label})
+}
+
+// Len reports |ΔG|.
+func (d *Delta) Len() int { return len(d.Ops) }
+
+// Insertions returns ΔG⁺.
+func (d *Delta) Insertions() []EdgeOp { return d.filter(true) }
+
+// Deletions returns ΔG⁻.
+func (d *Delta) Deletions() []EdgeOp { return d.filter(false) }
+
+func (d *Delta) filter(insert bool) []EdgeOp {
+	var ops []EdgeOp
+	for _, op := range d.Ops {
+		if op.Insert == insert {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// Normalize reduces ΔG against base so that ΔG⁺ contains only edges absent
+// from base and ΔG⁻ only edges present in base, with the last op per edge
+// winning. The result applied to base yields the same graph as the original
+// sequence, and ΔG⁺ ∩ ΔG⁻ = ∅, the shape IncDect expects.
+func (d *Delta) Normalize(base *Graph) *Delta {
+	type key struct {
+		src, dst NodeID
+		label    LabelID
+	}
+	last := make(map[key]bool, len(d.Ops))
+	order := make([]key, 0, len(d.Ops))
+	for _, op := range d.Ops {
+		k := key{op.Src, op.Dst, op.Label}
+		if _, seen := last[k]; !seen {
+			order = append(order, k)
+		}
+		last[k] = op.Insert
+	}
+	out := &Delta{}
+	for _, k := range order {
+		ins := last[k]
+		exists := base.HasEdgeL(k.src, k.dst, k.label)
+		if ins && !exists {
+			out.Insert(k.src, k.dst, k.label)
+		} else if !ins && exists {
+			out.Delete(k.src, k.dst, k.label)
+		}
+	}
+	return out
+}
+
+// Apply mutates g in place, turning it into g ⊕ ΔG.
+func (d *Delta) Apply(g *Graph) {
+	for _, op := range d.Ops {
+		if op.Insert {
+			g.AddEdgeL(op.Src, op.Dst, op.Label)
+		} else {
+			g.DeleteEdgeL(op.Src, op.Dst, op.Label)
+		}
+	}
+}
+
+// Inverse returns the ΔG that undoes d (valid for normalized deltas).
+func (d *Delta) Inverse() *Delta {
+	inv := &Delta{Ops: make([]EdgeOp, 0, len(d.Ops))}
+	for i := len(d.Ops) - 1; i >= 0; i-- {
+		op := d.Ops[i]
+		op.Insert = !op.Insert
+		inv.Ops = append(inv.Ops, op)
+	}
+	return inv
+}
+
+// TouchedNodes returns the distinct nodes appearing on edges of ΔG, in
+// first-appearance order — the seeds of the dΣ-neighborhood G_dΣ(ΔG).
+func (d *Delta) TouchedNodes() []NodeID {
+	seen := make(map[NodeID]struct{}, len(d.Ops)*2)
+	var nodes []NodeID
+	add := func(v NodeID) {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			nodes = append(nodes, v)
+		}
+	}
+	for _, op := range d.Ops {
+		add(op.Src)
+		add(op.Dst)
+	}
+	return nodes
+}

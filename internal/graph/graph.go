@@ -1,0 +1,414 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. Nodes are dense indices; they are never removed
+// (the paper's unit deletions remove links only, leaving nodes intact).
+type NodeID int32
+
+// LabelID is an interned node or edge label from the alphabet Γ.
+type LabelID int32
+
+// AttrID is an interned attribute name from the alphabet Θ.
+type AttrID int32
+
+// Wildcard is the label id reserved for the pattern wildcard '_' which
+// matches any node label. It never labels a graph node.
+const Wildcard LabelID = 0
+
+// NoLabel marks a label string that is not interned in a graph's symbol
+// table; no node or edge can carry it.
+const NoLabel LabelID = -1
+
+// Half is a half-edge: an adjacency entry (Label, To). Out-lists hold the
+// edge's head, in-lists its tail.
+type Half struct {
+	Label LabelID
+	To    NodeID
+}
+
+// Symbols interns label and attribute strings so the hot matching paths
+// compare int32 ids rather than strings.
+type Symbols struct {
+	labels   []string
+	labelIDs map[string]LabelID
+	attrs    []string
+	attrIDs  map[string]AttrID
+}
+
+// NewSymbols returns an empty symbol table with the wildcard pre-interned.
+func NewSymbols() *Symbols {
+	s := &Symbols{
+		labelIDs: make(map[string]LabelID),
+		attrIDs:  make(map[string]AttrID),
+	}
+	s.labels = append(s.labels, "_") // Wildcard == 0
+	s.labelIDs["_"] = Wildcard
+	return s
+}
+
+// Label interns a label string.
+func (s *Symbols) Label(name string) LabelID {
+	if id, ok := s.labelIDs[name]; ok {
+		return id
+	}
+	id := LabelID(len(s.labels))
+	s.labels = append(s.labels, name)
+	s.labelIDs[name] = id
+	return id
+}
+
+// LookupLabel resolves a label without interning; returns NoLabel if unseen.
+func (s *Symbols) LookupLabel(name string) LabelID {
+	if id, ok := s.labelIDs[name]; ok {
+		return id
+	}
+	return NoLabel
+}
+
+// LabelName returns the string for a label id.
+func (s *Symbols) LabelName(id LabelID) string {
+	if id < 0 || int(id) >= len(s.labels) {
+		return fmt.Sprintf("<label#%d>", id)
+	}
+	return s.labels[id]
+}
+
+// Attr interns an attribute name.
+func (s *Symbols) Attr(name string) AttrID {
+	if id, ok := s.attrIDs[name]; ok {
+		return id
+	}
+	id := AttrID(len(s.attrs))
+	s.attrs = append(s.attrs, name)
+	s.attrIDs[name] = id
+	return id
+}
+
+// LookupAttr resolves an attribute name without interning (-1 if unseen).
+func (s *Symbols) LookupAttr(name string) AttrID {
+	if id, ok := s.attrIDs[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// AttrName returns the string for an attribute id.
+func (s *Symbols) AttrName(id AttrID) string {
+	if id < 0 || int(id) >= len(s.attrs) {
+		return fmt.Sprintf("<attr#%d>", id)
+	}
+	return s.attrs[id]
+}
+
+// NumLabels reports the number of interned labels (including the wildcard).
+func (s *Symbols) NumLabels() int { return len(s.labels) }
+
+type nodeData struct {
+	label LabelID
+	attrs map[AttrID]Value
+}
+
+// Graph is a directed, labeled, attributed graph G = (V, E, L, F_A).
+// Edges are unique per (src, label, dst) triple. Adjacency lists are kept
+// sorted by (Label, To) so edge checks are logarithmic.
+//
+// A Graph is safe for concurrent reads once construction and updates are
+// done; mutation is not synchronized.
+type Graph struct {
+	syms      *Symbols
+	nodes     []nodeData
+	out       [][]Half
+	in        [][]Half
+	edgeCount int
+	byLabel   map[LabelID][]NodeID
+}
+
+// New returns an empty graph with a fresh symbol table.
+func New() *Graph { return NewWithSymbols(NewSymbols()) }
+
+// NewWithSymbols returns an empty graph sharing an existing symbol table
+// (used when patterns and graphs must agree on ids).
+func NewWithSymbols(s *Symbols) *Graph {
+	return &Graph{syms: s, byLabel: make(map[LabelID][]NodeID)}
+}
+
+// Symbols exposes the graph's symbol table.
+func (g *Graph) Symbols() *Symbols { return g.syms }
+
+// NumNodes reports |V|.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports |E|.
+func (g *Graph) NumEdges() int { return g.edgeCount }
+
+// AddNode adds a node with the given label and returns its id.
+func (g *Graph) AddNode(label string) NodeID {
+	return g.AddNodeL(g.syms.Label(label))
+}
+
+// AddNodeL adds a node with an already-interned label.
+func (g *Graph) AddNodeL(label LabelID) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, nodeData{label: label})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.byLabel[label] = append(g.byLabel[label], id)
+	return id
+}
+
+// Label returns the label of node v.
+func (g *Graph) Label(v NodeID) LabelID { return g.nodes[v].label }
+
+// LabelName returns the label string of node v.
+func (g *Graph) LabelName(v NodeID) string { return g.syms.LabelName(g.nodes[v].label) }
+
+// SetAttr sets attribute a of node v (F_A(v).a = val).
+func (g *Graph) SetAttr(v NodeID, name string, val Value) {
+	g.SetAttrA(v, g.syms.Attr(name), val)
+}
+
+// SetAttrA sets an attribute by interned id.
+func (g *Graph) SetAttrA(v NodeID, a AttrID, val Value) {
+	nd := &g.nodes[v]
+	if nd.attrs == nil {
+		nd.attrs = make(map[AttrID]Value, 4)
+	}
+	nd.attrs[a] = val
+}
+
+// Attr returns attribute a of v; the zero Value (invalid) means absent.
+func (g *Graph) Attr(v NodeID, a AttrID) Value {
+	return g.nodes[v].attrs[a]
+}
+
+// AttrByName returns an attribute by name.
+func (g *Graph) AttrByName(v NodeID, name string) Value {
+	a := g.syms.LookupAttr(name)
+	if a < 0 {
+		return Value{}
+	}
+	return g.Attr(v, a)
+}
+
+// Attrs iterates the attribute tuple of v.
+func (g *Graph) Attrs(v NodeID, fn func(AttrID, Value)) {
+	for a, val := range g.nodes[v].attrs {
+		fn(a, val)
+	}
+}
+
+// NumAttrs reports the arity of v's attribute tuple.
+func (g *Graph) NumAttrs(v NodeID) int { return len(g.nodes[v].attrs) }
+
+func searchHalf(list []Half, h Half) (int, bool) {
+	i := sort.Search(len(list), func(i int) bool {
+		if list[i].Label != h.Label {
+			return list[i].Label >= h.Label
+		}
+		return list[i].To >= h.To
+	})
+	return i, i < len(list) && list[i] == h
+}
+
+func insertHalf(list []Half, h Half) ([]Half, bool) {
+	i, found := searchHalf(list, h)
+	if found {
+		return list, false
+	}
+	list = append(list, Half{})
+	copy(list[i+1:], list[i:])
+	list[i] = h
+	return list, true
+}
+
+func removeHalf(list []Half, h Half) ([]Half, bool) {
+	i, found := searchHalf(list, h)
+	if !found {
+		return list, false
+	}
+	copy(list[i:], list[i+1:])
+	return list[:len(list)-1], true
+}
+
+// AddEdge inserts edge (u -label-> v). It reports whether the edge was new.
+func (g *Graph) AddEdge(u, v NodeID, label string) bool {
+	return g.AddEdgeL(u, v, g.syms.Label(label))
+}
+
+// AddEdgeL inserts an edge with an interned label.
+func (g *Graph) AddEdgeL(u, v NodeID, label LabelID) bool {
+	var added bool
+	g.out[u], added = insertHalf(g.out[u], Half{Label: label, To: v})
+	if !added {
+		return false
+	}
+	g.in[v], _ = insertHalf(g.in[v], Half{Label: label, To: u})
+	g.edgeCount++
+	return true
+}
+
+// DeleteEdgeL removes edge (u -label-> v); reports whether it existed.
+func (g *Graph) DeleteEdgeL(u, v NodeID, label LabelID) bool {
+	var removed bool
+	g.out[u], removed = removeHalf(g.out[u], Half{Label: label, To: v})
+	if !removed {
+		return false
+	}
+	g.in[v], _ = removeHalf(g.in[v], Half{Label: label, To: u})
+	g.edgeCount--
+	return true
+}
+
+// HasEdgeL reports whether edge (u -label-> v) exists.
+func (g *Graph) HasEdgeL(u, v NodeID, label LabelID) bool {
+	_, found := searchHalf(g.out[u], Half{Label: label, To: v})
+	return found
+}
+
+// Out returns the sorted out-adjacency of v. Callers must not mutate it.
+func (g *Graph) Out(v NodeID) []Half { return g.out[v] }
+
+// In returns the sorted in-adjacency of v. Callers must not mutate it.
+func (g *Graph) In(v NodeID) []Half { return g.in[v] }
+
+// OutDegree reports len(Out(v)).
+func (g *Graph) OutDegree(v NodeID) int { return len(g.out[v]) }
+
+// InDegree reports len(In(v)).
+func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
+
+// Degree reports the total degree of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.out[v]) + len(g.in[v]) }
+
+// NodesWithLabel returns the nodes carrying the label; for Wildcard it
+// returns nil (use NumNodes and iterate instead: every node matches).
+func (g *Graph) NodesWithLabel(l LabelID) []NodeID {
+	if l == Wildcard {
+		return nil
+	}
+	return g.byLabel[l]
+}
+
+// CountLabel reports how many nodes carry label l (all nodes for Wildcard).
+func (g *Graph) CountLabel(l LabelID) int {
+	if l == Wildcard {
+		return len(g.nodes)
+	}
+	return len(g.byLabel[l])
+}
+
+// Neighborhood returns the set V_d(v): all nodes within d hops of v when G
+// is taken as an undirected graph (paper §6.1). The result includes v and is
+// in BFS discovery order.
+func (g *Graph) Neighborhood(v NodeID, d int) []NodeID {
+	return g.NeighborhoodOf([]NodeID{v}, d)
+}
+
+// NeighborhoodOf returns the union of V_d(v) over several seed nodes,
+// deduplicated, in BFS discovery order.
+func (g *Graph) NeighborhoodOf(seeds []NodeID, d int) []NodeID {
+	seen := make(map[NodeID]struct{}, len(seeds)*4)
+	var frontier, result []NodeID
+	for _, s := range seeds {
+		if _, ok := seen[s]; ok {
+			continue
+		}
+		seen[s] = struct{}{}
+		frontier = append(frontier, s)
+		result = append(result, s)
+	}
+	for hop := 0; hop < d && len(frontier) > 0; hop++ {
+		var next []NodeID
+		for _, u := range frontier {
+			for _, h := range g.out[u] {
+				if _, ok := seen[h.To]; !ok {
+					seen[h.To] = struct{}{}
+					next = append(next, h.To)
+					result = append(result, h.To)
+				}
+			}
+			for _, h := range g.in[u] {
+				if _, ok := seen[h.To]; !ok {
+					seen[h.To] = struct{}{}
+					next = append(next, h.To)
+					result = append(result, h.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return result
+}
+
+// InducedEdges calls fn for every edge of the subgraph induced by the node
+// set (paper §2): both endpoints in the set.
+func (g *Graph) InducedEdges(set map[NodeID]struct{}, fn func(u, v NodeID, l LabelID)) {
+	for u := range set {
+		for _, h := range g.out[u] {
+			if _, ok := set[h.To]; ok {
+				fn(u, h.To, h.Label)
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy sharing the symbol table.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		syms:      g.syms,
+		nodes:     make([]nodeData, len(g.nodes)),
+		out:       make([][]Half, len(g.out)),
+		in:        make([][]Half, len(g.in)),
+		edgeCount: g.edgeCount,
+		byLabel:   make(map[LabelID][]NodeID, len(g.byLabel)),
+	}
+	copy(c.nodes, g.nodes)
+	for i := range g.nodes {
+		if g.nodes[i].attrs != nil {
+			m := make(map[AttrID]Value, len(g.nodes[i].attrs))
+			for k, v := range g.nodes[i].attrs {
+				m[k] = v
+			}
+			c.nodes[i].attrs = m
+		}
+	}
+	for i := range g.out {
+		c.out[i] = append([]Half(nil), g.out[i]...)
+		c.in[i] = append([]Half(nil), g.in[i]...)
+	}
+	for l, ns := range g.byLabel {
+		c.byLabel[l] = append([]NodeID(nil), ns...)
+	}
+	return c
+}
+
+// Stats summarizes a graph (used by generators and the bench harness).
+type Stats struct {
+	Nodes, Edges int
+	Labels       int
+	MaxOutDeg    int
+	MaxInDeg     int
+	Density      float64 // |E| / (|V|·(|V|−1)), the paper's definition
+}
+
+// ComputeStats scans the graph and reports summary statistics.
+func (g *Graph) ComputeStats() Stats {
+	st := Stats{Nodes: len(g.nodes), Edges: g.edgeCount, Labels: g.syms.NumLabels() - 1}
+	for i := range g.nodes {
+		if d := len(g.out[i]); d > st.MaxOutDeg {
+			st.MaxOutDeg = d
+		}
+		if d := len(g.in[i]); d > st.MaxInDeg {
+			st.MaxInDeg = d
+		}
+	}
+	n := float64(len(g.nodes))
+	if n > 1 {
+		st.Density = float64(g.edgeCount) / (n * (n - 1))
+	}
+	return st
+}

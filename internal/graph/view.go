@@ -1,0 +1,159 @@
+package graph
+
+// View is a read-only graph interface implemented by *Graph and *Overlay.
+// The detection algorithms run against Views so the incremental algorithms
+// can inspect G and G⊕ΔG simultaneously without copying the graph.
+type View interface {
+	Symbols() *Symbols
+	NumNodes() int
+	NumEdges() int
+	Label(v NodeID) LabelID
+	Attr(v NodeID, a AttrID) Value
+	Out(v NodeID) []Half
+	In(v NodeID) []Half
+	HasEdgeL(u, v NodeID, label LabelID) bool
+	// NodesWithLabel returns the candidate nodes carrying l, or nil when
+	// l == Wildcard (in which case every node 0..NumNodes-1 matches).
+	NodesWithLabel(l LabelID) []NodeID
+	CountLabel(l LabelID) int
+}
+
+var (
+	_ View = (*Graph)(nil)
+	_ View = (*Overlay)(nil)
+)
+
+// Overlay presents G ⊕ ΔG without mutating G. Only nodes touched by ΔG pay
+// any overhead: their merged adjacency lists are precomputed at construction;
+// untouched nodes delegate to the base graph.
+type Overlay struct {
+	base      *Graph
+	out       map[NodeID][]Half
+	in        map[NodeID][]Half
+	edgeDelta int
+}
+
+// NewOverlay builds the view of base ⊕ delta. Operations that have no
+// effect (inserting an existing edge, deleting a missing one) are skipped.
+func NewOverlay(base *Graph, delta *Delta) *Overlay {
+	o := &Overlay{
+		base: base,
+		out:  make(map[NodeID][]Half),
+		in:   make(map[NodeID][]Half),
+	}
+	outOf := func(v NodeID) []Half {
+		if l, ok := o.out[v]; ok {
+			return l
+		}
+		l := append([]Half(nil), base.out[v]...)
+		o.out[v] = l
+		return l
+	}
+	inOf := func(v NodeID) []Half {
+		if l, ok := o.in[v]; ok {
+			return l
+		}
+		l := append([]Half(nil), base.in[v]...)
+		o.in[v] = l
+		return l
+	}
+	for _, op := range delta.Ops {
+		if op.Insert {
+			l, added := insertHalf(outOf(op.Src), Half{Label: op.Label, To: op.Dst})
+			if !added {
+				continue
+			}
+			o.out[op.Src] = l
+			o.in[op.Dst], _ = insertHalf(inOf(op.Dst), Half{Label: op.Label, To: op.Src})
+			o.edgeDelta++
+		} else {
+			l, removed := removeHalf(outOf(op.Src), Half{Label: op.Label, To: op.Dst})
+			if !removed {
+				continue
+			}
+			o.out[op.Src] = l
+			o.in[op.Dst], _ = removeHalf(inOf(op.Dst), Half{Label: op.Label, To: op.Src})
+			o.edgeDelta--
+		}
+	}
+	return o
+}
+
+// Symbols returns the base graph's symbol table.
+func (o *Overlay) Symbols() *Symbols { return o.base.syms }
+
+// NumNodes reports |V| (ΔG never removes nodes).
+func (o *Overlay) NumNodes() int { return o.base.NumNodes() }
+
+// NumEdges reports |E ⊕ ΔE|.
+func (o *Overlay) NumEdges() int { return o.base.edgeCount + o.edgeDelta }
+
+// Label returns the label of v.
+func (o *Overlay) Label(v NodeID) LabelID { return o.base.Label(v) }
+
+// Attr returns attribute a of v.
+func (o *Overlay) Attr(v NodeID, a AttrID) Value { return o.base.Attr(v, a) }
+
+// Out returns the overlaid out-adjacency of v.
+func (o *Overlay) Out(v NodeID) []Half {
+	if l, ok := o.out[v]; ok {
+		return l
+	}
+	return o.base.out[v]
+}
+
+// In returns the overlaid in-adjacency of v.
+func (o *Overlay) In(v NodeID) []Half {
+	if l, ok := o.in[v]; ok {
+		return l
+	}
+	return o.base.in[v]
+}
+
+// HasEdgeL reports whether (u -label-> v) exists in G ⊕ ΔG.
+func (o *Overlay) HasEdgeL(u, v NodeID, label LabelID) bool {
+	_, found := searchHalf(o.Out(u), Half{Label: label, To: v})
+	return found
+}
+
+// NodesWithLabel delegates to the base graph: ΔG only changes edges.
+func (o *Overlay) NodesWithLabel(l LabelID) []NodeID { return o.base.NodesWithLabel(l) }
+
+// CountLabel delegates to the base graph.
+func (o *Overlay) CountLabel(l LabelID) int { return o.base.CountLabel(l) }
+
+// NeighborhoodOf is the overlay counterpart of Graph.NeighborhoodOf: BFS up
+// to d undirected hops in G ⊕ ΔG.
+func (o *Overlay) NeighborhoodOf(seeds []NodeID, d int) []NodeID {
+	seen := make(map[NodeID]struct{}, len(seeds)*4)
+	var frontier, result []NodeID
+	for _, s := range seeds {
+		if _, ok := seen[s]; ok {
+			continue
+		}
+		seen[s] = struct{}{}
+		frontier = append(frontier, s)
+		result = append(result, s)
+	}
+	for hop := 0; hop < d && len(frontier) > 0; hop++ {
+		var next []NodeID
+		for _, u := range frontier {
+			for _, h := range o.Out(u) {
+				if _, ok := seen[h.To]; !ok {
+					seen[h.To] = struct{}{}
+					next = append(next, h.To)
+					result = append(result, h.To)
+				}
+			}
+			for _, h := range o.In(u) {
+				if _, ok := seen[h.To]; !ok {
+					seen[h.To] = struct{}{}
+					next = append(next, h.To)
+					result = append(result, h.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return result
+}

@@ -1,0 +1,71 @@
+package inc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ngd/internal/core"
+	"ngd/internal/graph"
+	"ngd/internal/inc"
+	"ngd/internal/paperdata"
+	"ngd/internal/par"
+)
+
+// TestPaperExample7 reproduces Example 7: G4 extended with 98 additional
+// NatWest_Help_i accounts (1 following, 2 followers, status 1). Deleting
+// the real account's status edge removes 99 violations — each of the 98
+// clones plus the original fake are validated fake against the real
+// account, and all of those violations disappear together.
+func TestPaperExample7(t *testing.T) {
+	g, realAcc, _ := paperdata.G4()
+	rules := core.NewSet(paperdata.Phi4(1, 1, 10000))
+
+	keys := g.Symbols().LookupLabel("keys")
+	var company graph.NodeID = -1
+	for _, h := range g.Out(realAcc) {
+		if h.Label == keys {
+			company = h.To
+		}
+	}
+	statusLbl := g.Symbols().LookupLabel("status")
+
+	for i := 1; i <= 98; i++ {
+		acc := g.AddNode("account")
+		g.SetAttr(acc, "name", graph.Str(fmt.Sprintf("NatWest_Help%d", i)))
+		st := g.AddNode("boolean")
+		g.SetAttr(st, "val", graph.Bool(true))
+		fo := g.AddNode("integer")
+		g.SetAttr(fo, "val", graph.Int(2))
+		fg := g.AddNode("integer")
+		g.SetAttr(fg, "val", graph.Int(1))
+		g.AddEdge(acc, company, "keys")
+		g.AddEdge(acc, st, "status")
+		g.AddEdge(acc, fo, "follower")
+		g.AddEdge(acc, fg, "following")
+	}
+
+	var statusNode graph.NodeID = -1
+	for _, h := range g.Out(realAcc) {
+		if h.Label == statusLbl {
+			statusNode = h.To
+		}
+	}
+	d := &graph.Delta{}
+	d.Delete(realAcc, statusNode, statusLbl)
+
+	// sequential
+	res := inc.IncDect(g, rules, d, inc.Options{})
+	if len(res.Minus) != 99 {
+		t.Fatalf("ΔVio⁻ = %d, want 99 (Example 7)", len(res.Minus))
+	}
+	if len(res.Plus) != 0 {
+		t.Fatalf("ΔVio⁺ = %d, want 0", len(res.Plus))
+	}
+
+	// parallel, as in the example's walkthrough (4 processors)
+	pres := par.PIncDect(g, rules, d, par.Hybrid(4))
+	if len(pres.Delta.Minus) != 99 || len(pres.Delta.Plus) != 0 {
+		t.Fatalf("PIncDect ΔVio = +%d/-%d, want +0/-99",
+			len(pres.Delta.Plus), len(pres.Delta.Minus))
+	}
+}

@@ -1,0 +1,153 @@
+// Package match implements homomorphism pattern matching for NGD detection,
+// following the generic backtracking procedure Matchn/SubMatchn of the paper
+// (§6.2): candidate selection per pattern node, matching-order planning,
+// edge verification, and hooks for literal-based pruning. Both the batch
+// detector (Dect) and the incremental ones (IncDect/PIncDect) drive it; the
+// incremental algorithms additionally pin update pivots as pre-bound nodes.
+package match
+
+import (
+	"sort"
+
+	"ngd/internal/graph"
+	"ngd/internal/pattern"
+)
+
+// Unbound marks an unmatched pattern node in a partial solution.
+const Unbound graph.NodeID = -1
+
+// EdgeCheck verifies one pattern edge between the step's node and an
+// already-bound node.
+type EdgeCheck struct {
+	Edge  int  // pattern edge index
+	Out   bool // true: edge goes step.Node -> Other; false: Other -> step.Node
+	Other int  // pattern node index already bound (equals step.Node for loops)
+}
+
+// Step extends a partial solution by one pattern node.
+type Step struct {
+	Node int // pattern node to bind
+	// Candidate generation: when AnchorEdge >= 0 candidates come from the
+	// adjacency of the bound node AnchorFrom along that edge; otherwise the
+	// step is a seed and candidates come from the label index.
+	AnchorEdge int
+	AnchorOut  bool // true: candidates = Out(h(AnchorFrom)); false: In(...)
+	AnchorFrom int
+	Checks     []EdgeCheck
+}
+
+// Plan is a matching order for (the unbound part of) a compiled pattern.
+type Plan struct {
+	CP    *pattern.Compiled
+	Bound []int  // pre-bound pattern nodes (update pivots), may be empty
+	Steps []Step // one per remaining pattern node
+}
+
+// Selectivity estimates candidate counts per pattern node; BuildPlan uses it
+// to order seeds and ties. A nil function falls back to wildcard-last.
+type Selectivity func(node int) int
+
+// GraphSelectivity derives a Selectivity from label frequencies in g.
+func GraphSelectivity(g graph.View, cp *pattern.Compiled) Selectivity {
+	return func(node int) int {
+		return g.CountLabel(cp.NodeLabels[node])
+	}
+}
+
+// BuildPlan computes a matching order covering every pattern node outside
+// bound. Strategy (paper §6.2 "matching order selection"): repeatedly pick
+// the unbound node with the most edges into the bound set (most constrained
+// first), breaking ties by estimated selectivity; when no unbound node
+// touches the bound set (disconnected pattern or empty bound), seed a new
+// component at the most selective node.
+func BuildPlan(cp *pattern.Compiled, bound []int, sel Selectivity) *Plan {
+	n := len(cp.Src.Nodes)
+	isBound := make([]bool, n)
+	for _, b := range bound {
+		isBound[b] = true
+	}
+	plan := &Plan{CP: cp, Bound: append([]int(nil), bound...)}
+	if sel == nil {
+		sel = func(node int) int {
+			if cp.NodeLabels[node] == graph.Wildcard {
+				return 1 << 30
+			}
+			return 1 << 20
+		}
+	}
+
+	// edgesInto[i] = pattern edge indices incident to node i
+	incident := make([][]int, n)
+	for ei, e := range cp.Src.Edges {
+		incident[e.Src] = append(incident[e.Src], ei)
+		if e.Dst != e.Src {
+			incident[e.Dst] = append(incident[e.Dst], ei)
+		}
+	}
+
+	remaining := 0
+	for i := 0; i < n; i++ {
+		if !isBound[i] {
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		best, bestEdges, bestSel := -1, -1, 0
+		for i := 0; i < n; i++ {
+			if isBound[i] {
+				continue
+			}
+			cnt := 0
+			for _, ei := range incident[i] {
+				e := cp.Src.Edges[ei]
+				if e.Src == e.Dst {
+					continue // self loop: no bound neighbor
+				}
+				if other := e.Src + e.Dst - i; isBound[other] {
+					cnt++
+				}
+			}
+			s := sel(i)
+			if best < 0 || cnt > bestEdges || (cnt == bestEdges && s < bestSel) {
+				best, bestEdges, bestSel = i, cnt, s
+			}
+		}
+		step := Step{Node: best, AnchorEdge: -1}
+		// collect checks and pick an anchor among edges into the bound set
+		for _, ei := range incident[best] {
+			e := cp.Src.Edges[ei]
+			if e.Src == e.Dst {
+				if e.Src == best {
+					step.Checks = append(step.Checks, EdgeCheck{Edge: ei, Out: true, Other: best})
+				}
+				continue
+			}
+			other := e.Src + e.Dst - best
+			if !isBound[other] {
+				continue
+			}
+			out := e.Src == best // edge best -> other
+			if step.AnchorEdge < 0 {
+				step.AnchorEdge = ei
+				step.AnchorFrom = other
+				// candidates come from the *other* node's adjacency:
+				// if edge is other -> best, follow other's out-list.
+				step.AnchorOut = e.Src == other
+			} else {
+				step.Checks = append(step.Checks, EdgeCheck{Edge: ei, Out: out, Other: other})
+			}
+		}
+		plan.Steps = append(plan.Steps, step)
+		isBound[best] = true
+		remaining--
+	}
+	return plan
+}
+
+// LabelSlice returns the contiguous run of halves carrying label l within a
+// sorted adjacency list (binary search on both bounds).
+func LabelSlice(list []graph.Half, l graph.LabelID) []graph.Half {
+	lo := sort.Search(len(list), func(i int) bool { return list[i].Label >= l })
+	hi := sort.Search(len(list), func(i int) bool { return list[i].Label > l })
+	return list[lo:hi]
+}

@@ -1,0 +1,103 @@
+package paperdata
+
+import (
+	"testing"
+
+	"ngd/internal/graph"
+)
+
+// TestFixtureShapes pins the Figure 1 fragments to the paper's data.
+func TestFixtureShapes(t *testing.T) {
+	g1, inst := G1()
+	if g1.NumNodes() != 3 || g1.NumEdges() != 2 {
+		t.Errorf("G1 shape: %d/%d", g1.NumNodes(), g1.NumEdges())
+	}
+	if name, _ := g1.AttrByName(inst, "name").AsString(); name != "BBC_Trust" {
+		t.Errorf("G1 entity: %q", name)
+	}
+
+	g2, area := G2()
+	if g2.NumNodes() != 4 || g2.NumEdges() != 3 {
+		t.Errorf("G2 shape: %d/%d", g2.NumNodes(), g2.NumEdges())
+	}
+	// 600 + 722 ≠ 1572: the planted inconsistency
+	var vals []int64
+	for _, h := range g2.Out(area) {
+		if v, ok := g2.AttrByName(h.To, "val").AsInt(); ok {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) != 3 {
+		t.Fatalf("G2 populations: %v", vals)
+	}
+
+	g4, realAcc, fakeAcc := G4()
+	if g4.NumNodes() != 9 {
+		t.Errorf("G4 nodes: %d", g4.NumNodes())
+	}
+	if realAcc == fakeAcc {
+		t.Error("G4 accounts must differ")
+	}
+
+	if g3 := G3(); g3.NumNodes() != 8 {
+		t.Errorf("G3 nodes: %d", g3.NumNodes())
+	}
+}
+
+// TestRuleDiameters pins the pattern diameters used throughout the
+// experiments (Q1/Q2 are stars of diameter 2, Q3/Q4 have diameter 4).
+func TestRuleDiameters(t *testing.T) {
+	if d := Q1().Diameter(); d != 2 {
+		t.Errorf("Q1 diameter = %d", d)
+	}
+	if d := Q2().Diameter(); d != 2 {
+		t.Errorf("Q2 diameter = %d", d)
+	}
+	if d := Q3().Diameter(); d != 4 {
+		t.Errorf("Q3 diameter = %d", d)
+	}
+	if d := Q4().Diameter(); d != 4 {
+		t.Errorf("Q4 diameter = %d", d)
+	}
+	if d := AllRules().Diameter(); d != 4 {
+		t.Errorf("dΣ = %d", d)
+	}
+}
+
+func TestMergedGraphPreservesPieces(t *testing.T) {
+	g := MergedGraph()
+	g1, _ := G1()
+	g2, _ := G2()
+	g4, _, _ := G4()
+	wantNodes := g1.NumNodes() + g2.NumNodes() + G3().NumNodes() + g4.NumNodes()
+	if g.NumNodes() != wantNodes {
+		t.Errorf("merged nodes = %d, want %d", g.NumNodes(), wantNodes)
+	}
+	wantEdges := g1.NumEdges() + g2.NumEdges() + G3().NumEdges() + g4.NumEdges()
+	if g.NumEdges() != wantEdges {
+		t.Errorf("merged edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	// attributes survive the merge
+	found := false
+	for v := 0; v < g.NumNodes(); v++ {
+		if s, ok := g.AttrByName(graph.NodeID(v), "name").AsString(); ok && s == "NatWest" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("merged graph lost the NatWest company node")
+	}
+}
+
+func TestDayNumberMonotone(t *testing.T) {
+	// later dates get larger day numbers; the φ1 rule depends on this
+	if dayNumber(2007, 1, 1) <= dayNumber(1946, 8, 28) {
+		t.Error("day numbers not monotone")
+	}
+	if dayNumber(2000, 3, 1)-dayNumber(2000, 2, 29) != 1 {
+		t.Error("leap-day succession wrong")
+	}
+	if dayNumber(2001, 1, 1)-dayNumber(2000, 1, 1) != 366 {
+		t.Error("2000 should have 366 days")
+	}
+}

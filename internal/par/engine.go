@@ -1,0 +1,341 @@
+// Package par implements the parallel detection algorithms of the paper:
+// PDect (parallel batch, §5.1) and PIncDect (parallel incremental, §6.3)
+// with the hybrid workload-balancing strategy — cost-estimation-based work
+// unit splitting plus periodic skew-based redistribution — and its ablation
+// variants PIncDect_ns (no splitting), PIncDect_nb (no balancing) and
+// PIncDect_NO (neither).
+//
+// Two drivers execute the same work-unit semantics:
+//
+//   - the virtual driver (default): a deterministic discrete-event
+//     simulation of p workers whose per-unit costs are the real adjacency
+//     scans and edge checks performed, plus a fixed communication latency
+//     per broadcast/transfer. It reports the simulated makespan
+//     (max worker clock), which reproduces the paper's relative curves —
+//     speedup vs p, the U-shaped optima in C and intvl — independently of
+//     how many physical cores the host has. (Substitution for the paper's
+//     20-machine cluster; see DESIGN.md.)
+//
+//   - the goroutine driver: p real worker goroutines with per-worker
+//     queues and a periodic balancer, for wall-clock use.
+//
+// Both produce identical violation sets, equal to the sequential
+// algorithms' output.
+package par
+
+import (
+	"sort"
+
+	"ngd/internal/core"
+	"ngd/internal/detect"
+	"ngd/internal/graph"
+	"ngd/internal/inc"
+	"ngd/internal/match"
+)
+
+// Options configure the parallel engine.
+type Options struct {
+	// P is the number of workers ("processors"); default 4.
+	P int
+	// C is the communication-latency *parameter* of the split decision
+	// (paper §6.3: split when C·(k+1) + |adj|/p < |adj|); default 60.
+	C int
+	// TrueLatency is the cost the simulator charges per broadcast or unit
+	// transfer — the actual latency of the simulated cluster, as opposed
+	// to the estimate C. Default 60 (so sweeping C brackets it).
+	TrueLatency int
+	// Intvl is the workload-monitoring interval in cost units (the paper's
+	// intvl in seconds; at our bench scale 1s of the paper's wall clock
+	// corresponds to ≈45 cost units, so the paper's 45s default maps to
+	// 2000). Default 2000.
+	Intvl float64
+	// Eta is the skewness threshold above which a worker sheds load
+	// (paper: 3); EtaLow the level below which workers accept load (0.7).
+	Eta, EtaLow float64
+	// SplitUnits enables cost-based work-unit splitting (off = _ns).
+	SplitUnits bool
+	// Balance enables periodic redistribution (off = _nb).
+	Balance bool
+	// Real runs the goroutine driver instead of the virtual-time one.
+	Real bool
+	// Limit stops after this many violations in total (0 = unlimited;
+	// the limit is approximate under the goroutine driver).
+	Limit int
+}
+
+// Defaults fills in zero fields (paper defaults: p=8 for parameter sweeps,
+// C=60, intvl=45s, η=3, η'=0.7; hybrid strategy on).
+func (o Options) Defaults() Options {
+	if o.P <= 0 {
+		o.P = 4
+	}
+	if o.C <= 0 {
+		o.C = 60
+	}
+	if o.TrueLatency <= 0 {
+		o.TrueLatency = 60
+	}
+	if o.Intvl <= 0 {
+		o.Intvl = 2000
+	}
+	if o.Eta <= 0 {
+		o.Eta = 3
+	}
+	if o.EtaLow <= 0 {
+		o.EtaLow = 0.7
+	}
+	return o
+}
+
+// Hybrid returns the full PIncDect configuration (splitting + balancing).
+func Hybrid(p int) Options {
+	return Options{P: p, SplitUnits: true, Balance: true}.Defaults()
+}
+
+// VariantNS disables splitting (PIncDect_ns).
+func VariantNS(p int) Options {
+	o := Hybrid(p)
+	o.SplitUnits = false
+	return o
+}
+
+// VariantNB disables balancing (PIncDect_nb).
+func VariantNB(p int) Options {
+	o := Hybrid(p)
+	o.Balance = false
+	return o
+}
+
+// VariantNO disables both (PIncDect_NO).
+func VariantNO(p int) Options {
+	o := Hybrid(p)
+	o.SplitUnits = false
+	o.Balance = false
+	return o
+}
+
+// Metrics summarize a parallel run.
+type Metrics struct {
+	// Makespan is the simulated parallel time (max worker clock, cost
+	// units). Under the goroutine driver it is the max of per-worker
+	// accumulated work costs (no latency charging).
+	Makespan float64
+	// TotalWork is the summed per-unit cost across workers.
+	TotalWork float64
+	// Units is the number of work units processed; Splits how many
+	// expansions were broadcast; Moved how many units rebalancing moved;
+	// BalanceEvents how many monitoring rounds fired.
+	Units, Splits, Moved, BalanceEvents int
+	// NC is the candidate-neighborhood size |NC(ΔG, Σ)| (PIncDect only).
+	NC int
+	// WorkerCost is the final per-worker clock/cost (skew diagnosis).
+	WorkerCost []float64
+}
+
+// Result of a parallel run.
+type Result struct {
+	Violations []core.Violation // PDect: Vio(Σ,G)
+	Delta      inc.DeltaVio     // PIncDect: (ΔVio⁺, ΔVio⁻)
+	Metrics    Metrics
+}
+
+// task is one independent violation search: a rule over a view with a plan
+// (batch: one per rule; incremental: one per rule × pivot slot × side).
+type task struct {
+	c    *detect.Compiled
+	view graph.View
+	plan *match.Plan
+	le   *detect.LitEval
+	plus bool // incremental: ΔVio⁺ side
+	inc  bool // incremental task (pivot dedup applies)
+}
+
+// unit is a work unit: a partial solution awaiting expansion at plan step
+// `depth` (paper: an element of BVio_i).
+type unit struct {
+	task      int
+	depth     int
+	ySat      int
+	pivotRank int // -1 for batch units
+	pivotSlot int
+	partial   []graph.NodeID
+	lo, hi    int     // candidate segment; (0,-1) = full list
+	bcast     bool    // this unit is a broadcast share (charges latency)
+	ready     float64 // virtual time at which the unit is available
+	// xferCharge is the communication cost of a rebalancing transfer,
+	// charged when the receiving worker processes the unit.
+	xferCharge float64
+}
+
+type edgeKey struct {
+	src, dst graph.NodeID
+	label    graph.LabelID
+}
+
+// engine holds the immutable run state shared by workers.
+type engine struct {
+	opts   Options
+	tasks  []task
+	insIdx map[edgeKey]int
+	delIdx map[edgeKey]int
+	// matchers are per-worker per-task to keep counters race-free.
+	matchers [][]*match.Matcher
+}
+
+func newEngine(opts Options, tasks []task) *engine {
+	e := &engine{opts: opts, tasks: tasks}
+	e.matchers = make([][]*match.Matcher, opts.P)
+	for w := 0; w < opts.P; w++ {
+		ms := make([]*match.Matcher, len(tasks))
+		for t := range tasks {
+			ms[t] = match.NewMatcher(tasks[t].view, tasks[t].plan, match.Hooks{})
+		}
+		e.matchers[w] = ms
+	}
+	return e
+}
+
+// smallestPivot mirrors inc.smallestPivot for the parallel engine.
+func (e *engine) smallestPivot(t *task, m []graph.NodeID, rank, slot int) bool {
+	idx := e.delIdx
+	if t.plus {
+		idx = e.insIdx
+	}
+	for s, pe := range t.c.Rule.Pattern.Edges {
+		k := edgeKey{m[pe.Src], m[pe.Dst], t.c.CP.EdgeLabels[s]}
+		r, ok := idx[k]
+		if !ok {
+			continue
+		}
+		if r < rank || (r == rank && s < slot) {
+			return false
+		}
+	}
+	return true
+}
+
+// taggedVio is a violation tagged with its side (ΔVio⁺ vs ΔVio⁻; batch
+// runs use plus=false throughout).
+type taggedVio struct {
+	vio  core.Violation
+	plus bool
+}
+
+// expandResult carries what one unit expansion produced.
+type expandResult struct {
+	cost     float64
+	children []*unit
+	vios     []taggedVio
+	split    bool
+}
+
+// expand processes unit u on worker w. When splitting is enabled and the
+// candidate list is large enough that C·(k+1) + |adj|/p < |adj| (§6.3), the
+// unit is split into p broadcast shares instead of being scanned locally.
+func (e *engine) expand(w int, u *unit) expandResult {
+	t := &e.tasks[u.task]
+	m := e.matchers[w][u.task]
+	var res expandResult
+
+	if u.bcast {
+		// a broadcast share pays CPU to deserialize the partial solution
+		// (size ∝ depth+1); the network latency itself is not CPU time —
+		// the driver models it as a delay on the unit's ready time.
+		res.cost += float64(u.depth + 1)
+	}
+	res.cost += u.xferCharge
+
+	if u.depth == len(t.plan.Steps) {
+		// complete match (possible only when a pattern is fully pre-bound)
+		res.vios = e.complete(t, u, u.partial, res.vios)
+		return res
+	}
+
+	// split decision (only for full-range units)
+	if e.opts.SplitUnits && !u.bcast && u.lo == 0 && u.hi < 0 {
+		cnt := m.CandidateCount(u.depth, u.partial)
+		seq := float64(cnt)
+		par := float64(e.opts.C)*float64(u.depth+1) + float64(cnt)/float64(e.opts.P)
+		if par < seq && cnt >= 2*e.opts.P {
+			res.split = true
+			share := (cnt + e.opts.P - 1) / e.opts.P
+			for i := 0; i < e.opts.P; i++ {
+				lo := i * share
+				hi := lo + share
+				if lo >= cnt {
+					break
+				}
+				if hi > cnt {
+					hi = cnt
+				}
+				child := &unit{
+					task: u.task, depth: u.depth, ySat: u.ySat,
+					pivotRank: u.pivotRank, pivotSlot: u.pivotSlot,
+					partial: append([]graph.NodeID(nil), u.partial...),
+					lo:      lo, hi: hi, bcast: true,
+				}
+				res.children = append(res.children, child)
+			}
+			// the splitting worker pays CPU to serialize the broadcast
+			res.cost += float64(u.depth + 1)
+			return res
+		}
+	}
+
+	st := &t.plan.Steps[u.depth]
+	checksBefore := m.Stat.Checks
+	scanned := m.CandidatesRange(u.depth, u.partial, u.lo, u.hi, func(v graph.NodeID) bool {
+		if !m.CheckStep(u.depth, u.partial, v) {
+			return true
+		}
+		u.partial[st.Node] = v
+		prune, ySat := t.le.EvalLevel(u.depth+1, u.partial, u.ySat)
+		if prune {
+			u.partial[st.Node] = match.Unbound
+			return true
+		}
+		if u.depth+1 == len(t.plan.Steps) {
+			res.vios = e.completeAt(t, u, ySat, res.vios)
+		} else {
+			res.children = append(res.children, &unit{
+				task: u.task, depth: u.depth + 1, ySat: ySat,
+				pivotRank: u.pivotRank, pivotSlot: u.pivotSlot,
+				partial: append([]graph.NodeID(nil), u.partial...),
+				lo:      0, hi: -1,
+			})
+		}
+		u.partial[st.Node] = match.Unbound
+		return true
+	})
+	res.cost += float64(scanned + (m.Stat.Checks - checksBefore))
+	return res
+}
+
+// completeAt records a complete match currently held in u.partial.
+func (e *engine) completeAt(t *task, u *unit, ySat int, vios []taggedVio) []taggedVio {
+	if ySat >= t.le.NumY() {
+		return vios // all Y satisfied: not a violation
+	}
+	mcopy := core.Match(append([]graph.NodeID(nil), u.partial...))
+	if t.inc && !e.smallestPivot(t, mcopy, u.pivotRank, u.pivotSlot) {
+		return vios
+	}
+	return append(vios, taggedVio{core.Violation{Rule: t.c.Rule, Match: mcopy}, t.plus})
+}
+
+// complete handles the degenerate fully-bound case.
+func (e *engine) complete(t *task, u *unit, partial []graph.NodeID, vios []taggedVio) []taggedVio {
+	if u.ySat >= t.le.NumY() {
+		return vios
+	}
+	mcopy := core.Match(append([]graph.NodeID(nil), partial...))
+	if t.inc && !e.smallestPivot(t, mcopy, u.pivotRank, u.pivotSlot) {
+		return vios
+	}
+	return append(vios, taggedVio{core.Violation{Rule: t.c.Rule, Match: mcopy}, t.plus})
+}
+
+// sortViolations orders output deterministically.
+func sortViolations(vs []taggedVio) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].vio.Key() < vs[j].vio.Key() })
+}

@@ -1,0 +1,208 @@
+package par
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"ngd/internal/core"
+	"ngd/internal/detect"
+	"ngd/internal/gen"
+	"ngd/internal/inc"
+	"ngd/internal/update"
+)
+
+func vioKeys(vs []core.Violation) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalKeys(a, b []core.Violation) bool {
+	ka, kb := vioKeys(a), vioKeys(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPDectMatchesDect: the parallel batch algorithm computes exactly
+// Vio(Σ, G), under both drivers and all variants.
+func TestPDectMatchesDect(t *testing.T) {
+	ds := gen.Generate(gen.YAGO2, 250, 11)
+	rules := gen.Rules(gen.YAGO2, gen.RuleConfig{Count: 12, MaxDiameter: 5, Seed: 11})
+	want := detect.Dect(ds.G, rules, detect.Options{}).Violations
+
+	for _, opts := range []Options{Hybrid(4), VariantNS(4), VariantNB(4), VariantNO(4), Hybrid(1), Hybrid(9)} {
+		got := PDect(ds.G, rules, opts)
+		if !equalKeys(got.Violations, want) {
+			t.Errorf("PDect(split=%v,bal=%v,p=%d) = %d violations, want %d",
+				opts.SplitUnits, opts.Balance, opts.P, len(got.Violations), len(want))
+		}
+	}
+	real := Hybrid(4)
+	real.Real = true
+	got := PDect(ds.G, rules, real)
+	if !equalKeys(got.Violations, want) {
+		t.Errorf("PDect goroutine driver = %d violations, want %d", len(got.Violations), len(want))
+	}
+}
+
+// TestPIncDectMatchesIncDect: the parallel incremental algorithm computes
+// exactly ΔVio(Σ, G, ΔG), under both drivers and all variants.
+func TestPIncDectMatchesIncDect(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		seed := int64(31 + trial*17)
+		profile := []gen.Profile{gen.YAGO2, gen.Pokec, gen.DBpedia}[trial]
+		ds := gen.Generate(profile, 200, seed)
+		rules := gen.Rules(profile, gen.RuleConfig{Count: 10, MaxDiameter: 5, Seed: seed})
+		d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.1), Gamma: 1, Seed: seed * 7})
+
+		want := inc.IncDect(ds.G, rules, d, inc.Options{})
+
+		for _, opts := range []Options{Hybrid(4), VariantNS(4), VariantNB(4), VariantNO(4), Hybrid(12)} {
+			got := PIncDect(ds.G, rules, d, opts)
+			if !equalKeys(got.Delta.Plus, want.Plus) {
+				t.Errorf("trial %d PIncDect(split=%v,bal=%v,p=%d) ΔVio⁺: got %d want %d",
+					trial, opts.SplitUnits, opts.Balance, opts.P, len(got.Delta.Plus), len(want.Plus))
+			}
+			if !equalKeys(got.Delta.Minus, want.Minus) {
+				t.Errorf("trial %d PIncDect(split=%v,bal=%v,p=%d) ΔVio⁻: got %d want %d",
+					trial, opts.SplitUnits, opts.Balance, opts.P, len(got.Delta.Minus), len(want.Minus))
+			}
+		}
+		real := Hybrid(4)
+		real.Real = true
+		got := PIncDect(ds.G, rules, d, real)
+		if !equalKeys(got.Delta.Plus, want.Plus) || !equalKeys(got.Delta.Minus, want.Minus) {
+			t.Errorf("trial %d goroutine driver mismatch", trial)
+		}
+	}
+}
+
+// TestVirtualDeterminism: the virtual driver must be bit-for-bit
+// reproducible (metrics and output order included).
+func TestVirtualDeterminism(t *testing.T) {
+	ds := gen.Generate(gen.Pokec, 150, 5)
+	rules := gen.Rules(gen.Pokec, gen.RuleConfig{Count: 8, MaxDiameter: 4, Seed: 5})
+	d := update.Random(ds, update.Config{Size: 80, Gamma: 1, Seed: 6})
+
+	r1 := PIncDect(ds.G, rules, d, Hybrid(8))
+	r2 := PIncDect(ds.G, rules, d, Hybrid(8))
+	if r1.Metrics.Makespan != r2.Metrics.Makespan || r1.Metrics.Units != r2.Metrics.Units ||
+		r1.Metrics.Moved != r2.Metrics.Moved {
+		t.Errorf("virtual driver not deterministic: %+v vs %+v", r1.Metrics, r2.Metrics)
+	}
+	if !equalKeys(r1.Delta.Plus, r2.Delta.Plus) || !equalKeys(r1.Delta.Minus, r2.Delta.Minus) {
+		t.Error("virtual driver violation sets differ across runs")
+	}
+}
+
+// TestParallelScalability: simulated makespan must shrink as p grows
+// (paper Exp-4: PIncDect is 3.7× faster from p=4 to p=20), while total work
+// stays within a constant factor.
+func TestParallelScalability(t *testing.T) {
+	ds := gen.Generate(gen.Pokec, 600, 13)
+	rules := gen.Rules(gen.Pokec, gen.RuleConfig{Count: 16, MaxDiameter: 5, Seed: 13})
+	d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.15), Gamma: 1, Seed: 14})
+
+	spans := map[int]float64{}
+	for _, p := range []int{4, 20} {
+		r := PIncDect(ds.G, rules, d, Hybrid(p))
+		spans[p] = r.Metrics.Makespan
+	}
+	if spans[20] >= spans[4] {
+		t.Errorf("no speedup: makespan p=4 %v, p=20 %v", spans[4], spans[20])
+	}
+	speedup := spans[4] / spans[20]
+	if speedup < 1.5 {
+		t.Errorf("weak scalability: %v× from p=4 to 20", speedup)
+	}
+	t.Logf("speedup p=4→20: %.2f×", speedup)
+}
+
+// TestHybridBeatsNO: with skewed workloads, the hybrid strategy should not
+// be slower than the no-split/no-balance variant (paper Exp-1(b): hybrid
+// improves PIncDect_NO by 1.5–1.8×).
+func TestHybridBeatsNO(t *testing.T) {
+	ds := gen.Generate(gen.Pokec, 800, 23)
+	rules := gen.Rules(gen.Pokec, gen.RuleConfig{Count: 14, MaxDiameter: 5, Seed: 23})
+	d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.2), Gamma: 1, Seed: 24})
+
+	hybrid := PIncDect(ds.G, rules, d, Hybrid(8))
+	no := PIncDect(ds.G, rules, d, VariantNO(8))
+	t.Logf("hybrid=%.0f no=%.0f (ratio %.2f)", hybrid.Metrics.Makespan, no.Metrics.Makespan,
+		no.Metrics.Makespan/hybrid.Metrics.Makespan)
+	if hybrid.Metrics.Makespan > no.Metrics.Makespan*1.15 {
+		t.Errorf("hybrid slower than NO variant: %v vs %v",
+			hybrid.Metrics.Makespan, no.Metrics.Makespan)
+	}
+}
+
+// TestLimit stops early.
+func TestLimit(t *testing.T) {
+	ds := gen.Generate(gen.YAGO2, 400, 3)
+	rules := gen.Rules(gen.YAGO2, gen.RuleConfig{Count: 12, MaxDiameter: 4, Seed: 3})
+	full := PDect(ds.G, rules, Hybrid(4))
+	if len(full.Violations) < 3 {
+		t.Skip("not enough violations to test limiting")
+	}
+	opts := Hybrid(4)
+	opts.Limit = 2
+	limited := PDect(ds.G, rules, opts)
+	if len(limited.Violations) < 2 || len(limited.Violations) >= len(full.Violations) {
+		t.Errorf("limit: got %d violations (full %d)", len(limited.Violations), len(full.Violations))
+	}
+}
+
+// TestEmptyInputs: no rules, or an empty delta, must terminate cleanly.
+func TestEmptyInputs(t *testing.T) {
+	ds := gen.Generate(gen.YAGO2, 50, 2)
+	empty := core.NewSet()
+	if r := PDect(ds.G, empty, Hybrid(4)); len(r.Violations) != 0 {
+		t.Error("PDect with no rules returned violations")
+	}
+	rules := gen.Rules(gen.YAGO2, gen.RuleConfig{Count: 4, MaxDiameter: 3, Seed: 2})
+	var d = update.Random(ds, update.Config{Size: 0, Gamma: 1, Seed: 1})
+	if r := PIncDect(ds.G, rules, d, Hybrid(4)); len(r.Delta.Plus)+len(r.Delta.Minus) != 0 {
+		t.Error("PIncDect with empty delta returned changes")
+	}
+	// real driver with empty work must not deadlock
+	real := Hybrid(2)
+	real.Real = true
+	if r := PIncDect(ds.G, rules, d, real); len(r.Delta.Plus)+len(r.Delta.Minus) != 0 {
+		t.Error("real driver with empty delta returned changes")
+	}
+}
+
+// TestMetricsSanity: splitting increments Splits; balancing with tiny
+// interval fires events.
+func TestMetricsSanity(t *testing.T) {
+	ds := gen.Generate(gen.Pokec, 500, 77)
+	rules := gen.Rules(gen.Pokec, gen.RuleConfig{Count: 10, MaxDiameter: 5, Seed: 77})
+	d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.2), Gamma: 1, Seed: 78})
+
+	opts := Hybrid(8)
+	opts.Intvl = 2000
+	r := PIncDect(ds.G, rules, d, opts)
+	if r.Metrics.Units == 0 || r.Metrics.TotalWork == 0 {
+		t.Errorf("empty metrics: %+v", r.Metrics)
+	}
+	if r.Metrics.NC == 0 {
+		t.Error("candidate neighborhood not measured")
+	}
+	ns := VariantNS(8)
+	rNS := PIncDect(ds.G, rules, d, ns)
+	if rNS.Metrics.Splits != 0 {
+		t.Errorf("ns variant split %d times", rNS.Metrics.Splits)
+	}
+	fmt.Printf("hybrid metrics: %+v\n", r.Metrics)
+}

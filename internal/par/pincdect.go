@@ -1,0 +1,223 @@
+package par
+
+import (
+	"ngd/internal/core"
+	"ngd/internal/detect"
+	"ngd/internal/graph"
+	"ngd/internal/match"
+	"ngd/internal/partition"
+)
+
+// PDect runs parallel batch detection of Vio(Σ, G) (§5.1: the extension of
+// the GFD parallel batch algorithm to NGDs). Initial work units are chunks
+// of each rule's seed-candidate list, distributed round-robin; from there
+// the hybrid strategy applies.
+func PDect(g graph.View, rules *core.Set, opts Options) *Result {
+	opts = opts.Defaults()
+	var tasks []task
+	for _, r := range rules.Rules {
+		c := detect.CompileRule(r, g.Symbols())
+		plan := match.BuildPlan(c.CP, nil, match.GraphSelectivity(g, c.CP))
+		tasks = append(tasks, task{
+			c: c, view: g, plan: plan,
+			le: detect.NewLitEval(g, c, plan),
+		})
+	}
+	e := newEngine(opts, tasks)
+
+	initial := make([][]*unit, opts.P)
+	next := 0
+	for t := range tasks {
+		tk := &tasks[t]
+		if tk.le.NumY() == 0 {
+			continue // X → ∅ holds vacuously
+		}
+		nPat := len(tk.c.Rule.Pattern.Nodes)
+		probe := match.NewPartial(nPat)
+		prune, ySat := tk.le.EvalLevel(0, probe, 0)
+		if prune {
+			continue
+		}
+		cnt := e.matchers[0][t].CandidateCount(0, probe)
+		if cnt == 0 {
+			continue
+		}
+		chunk := cnt / (opts.P * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+		for lo := 0; lo < cnt; lo += chunk {
+			hi := lo + chunk
+			if hi > cnt {
+				hi = cnt
+			}
+			u := &unit{
+				task: t, depth: 0, ySat: ySat,
+				pivotRank: -1, pivotSlot: -1,
+				partial: match.NewPartial(nPat),
+				lo:      lo, hi: hi,
+			}
+			initial[next%opts.P] = append(initial[next%opts.P], u)
+			next++
+		}
+	}
+
+	res := &Result{}
+	var tagged []taggedVio
+	if opts.Real {
+		tagged, res.Metrics = e.runReal(initial)
+	} else {
+		tagged, res.Metrics = e.runVirtual(initial, 0)
+	}
+	for _, tv := range tagged {
+		res.Violations = append(res.Violations, tv.vio)
+	}
+	return res
+}
+
+// PIncDect runs parallel incremental detection of ΔVio(Σ, G, ΔG) (§6.3,
+// Figure 3). g is the pre-update graph; ΔG is normalized internally. The
+// update pivots triggered by ΔG are distributed evenly across the p
+// workers; the candidate neighborhood NC(ΔG, Σ) is identified up front and
+// its construction and replication cost charged to all workers.
+func PIncDect(g *graph.Graph, rules *core.Set, delta *graph.Delta, opts Options) *Result {
+	opts = opts.Defaults()
+	norm := delta.Normalize(g)
+	newView := graph.NewOverlay(g, norm)
+	ins := norm.Insertions()
+	del := norm.Deletions()
+
+	e := &engine{opts: opts}
+	e.insIdx = make(map[edgeKey]int, len(ins))
+	for i, op := range ins {
+		e.insIdx[edgeKey{op.Src, op.Dst, op.Label}] = i
+	}
+	e.delIdx = make(map[edgeKey]int, len(del))
+	for i, op := range del {
+		e.delIdx[edgeKey{op.Src, op.Dst, op.Label}] = i
+	}
+
+	// tasks: rule × pattern-edge slot × side
+	var tasks []task
+	taskOf := make(map[[3]int]int) // (ruleIdx, slot, side) -> task index
+	compiled := make([]*detect.Compiled, len(rules.Rules))
+	for ri, r := range rules.Rules {
+		compiled[ri] = detect.CompileRule(r, g.Symbols())
+	}
+	getTask := func(ri, slot int, plus bool) int {
+		side := 0
+		if plus {
+			side = 1
+		}
+		key := [3]int{ri, slot, side}
+		if idx, ok := taskOf[key]; ok {
+			return idx
+		}
+		c := compiled[ri]
+		var view graph.View = g
+		if plus {
+			view = newView
+		}
+		pe := c.Rule.Pattern.Edges[slot]
+		bound := []int{pe.Src}
+		if pe.Dst != pe.Src {
+			bound = append(bound, pe.Dst)
+		}
+		plan := match.BuildPlan(c.CP, bound, match.GraphSelectivity(view, c.CP))
+		tasks = append(tasks, task{
+			c: c, view: view, plan: plan,
+			le:   detect.NewLitEval(view, c, plan),
+			plus: plus, inc: true,
+		})
+		taskOf[key] = len(tasks) - 1
+		return len(tasks) - 1
+	}
+
+	// seed update pivots (round-robin distribution, paper line 5)
+	var seeds []*unit
+	addPivots := func(ops []graph.EdgeOp, plus bool, view graph.View) {
+		for rank, op := range ops {
+			for ri, c := range compiled {
+				if len(c.Rule.Y) == 0 {
+					continue // X → ∅ can never be violated
+				}
+				for slot, pe := range c.Rule.Pattern.Edges {
+					if c.CP.EdgeLabels[slot] != op.Label {
+						continue
+					}
+					if pe.Src == pe.Dst && op.Src != op.Dst {
+						continue
+					}
+					ti := getTask(ri, slot, plus)
+					tk := &tasks[ti]
+					partial := match.NewPartial(len(c.Rule.Pattern.Nodes))
+					partial[pe.Src] = op.Src
+					partial[pe.Dst] = op.Dst
+					if !match.VerifyBound(view, c.CP, partial) {
+						continue
+					}
+					prune, ySat := tk.le.EvalLevel(0, partial, 0)
+					if prune {
+						continue
+					}
+					seeds = append(seeds, &unit{
+						task: ti, depth: 0, ySat: ySat,
+						pivotRank: rank, pivotSlot: slot,
+						partial: partial, lo: 0, hi: -1,
+					})
+				}
+			}
+		}
+	}
+	addPivots(ins, true, newView)
+	addPivots(del, false, g)
+
+	e.tasks = tasks
+	e.matchers = make([][]*match.Matcher, opts.P)
+	for w := 0; w < opts.P; w++ {
+		ms := make([]*match.Matcher, len(tasks))
+		for t := range tasks {
+			ms[t] = match.NewMatcher(tasks[t].view, tasks[t].plan, match.Hooks{})
+		}
+		e.matchers[w] = ms
+	}
+
+	// Pivots are discovered fragment-locally (each processor scans the unit
+	// updates landing in its fragment, Figure 3 lines 1–2), so a pivot's
+	// initial owner is the fragment owner of its source node. This is what
+	// produces the regionally-skewed workloads the hybrid strategy then
+	// splits and rebalances; see partition.Greedy.
+	pt := partition.Greedy(g, opts.P)
+	initial := make([][]*unit, opts.P)
+	for _, u := range seeds {
+		op := ins
+		if !tasks[u.task].plus {
+			op = del
+		}
+		w := pt.Owner(op[u.pivotRank].Src)
+		initial[w] = append(initial[w], u)
+	}
+
+	// candidate neighborhood NC(ΔG, Σ): identified in parallel, replicated
+	// at all workers (Figure 3 lines 1–4); charged as |NC|/p work plus a
+	// broadcast latency per worker.
+	nc := newView.NeighborhoodOf(norm.TouchedNodes(), rules.Diameter())
+	startCost := float64(len(nc))/float64(opts.P) + float64(opts.TrueLatency)
+
+	res := &Result{}
+	var tagged []taggedVio
+	if opts.Real {
+		tagged, res.Metrics = e.runReal(initial)
+	} else {
+		tagged, res.Metrics = e.runVirtual(initial, startCost)
+	}
+	res.Metrics.NC = len(nc)
+	for _, tv := range tagged {
+		if tv.plus {
+			res.Delta.Plus = append(res.Delta.Plus, tv.vio)
+		} else {
+			res.Delta.Minus = append(res.Delta.Minus, tv.vio)
+		}
+	}
+	return res
+}

@@ -1,0 +1,215 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// gworker is one real worker goroutine's state.
+type gworker struct {
+	mu   sync.Mutex
+	q    []*unit
+	vios []taggedVio
+	cost float64 // accumulated work cost (for the Makespan metric)
+	wake chan struct{}
+}
+
+func (w *gworker) push(u *unit) {
+	w.mu.Lock()
+	w.q = append(w.q, u)
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (w *gworker) pop() (*unit, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.q) == 0 {
+		return nil, false
+	}
+	u := w.q[len(w.q)-1] // LIFO: depth-first keeps queues small
+	w.q = w.q[:len(w.q)-1]
+	return u, true
+}
+
+func (w *gworker) size() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.q)
+}
+
+// takeFront steals n units from the front (oldest, typically shallowest —
+// the biggest subtrees, which is what rebalancing wants to move).
+func (w *gworker) takeFront(n int) []*unit {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n > len(w.q) {
+		n = len(w.q)
+	}
+	out := append([]*unit(nil), w.q[:n]...)
+	w.q = append(w.q[:0], w.q[n:]...)
+	return out
+}
+
+// runReal executes the engine on p OS-scheduled goroutines. The balancer
+// goroutine implements the paper's periodic monitoring: every interval it
+// moves queued units from workers above η× the average queue length to
+// workers below η′×. Splitting decisions reuse the same cost model as the
+// virtual driver.
+func (e *engine) runReal(initial [][]*unit) ([]taggedVio, Metrics) {
+	p := e.opts.P
+	ws := make([]*gworker, p)
+	var pending atomic.Int64
+	var vioCount atomic.Int64
+	var splits, moved, balEvents atomic.Int64
+	var unitCount atomic.Int64
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	finish := func() { closeOnce.Do(func() { close(done) }) }
+
+	total := 0
+	for i := 0; i < p; i++ {
+		ws[i] = &gworker{wake: make(chan struct{}, 1)}
+		total += len(initial[i])
+	}
+	pending.Store(int64(total))
+	if total == 0 {
+		finish()
+	}
+	for i := 0; i < p; i++ {
+		for _, u := range initial[i] {
+			ws[i].q = append(ws[i].q, u)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			self := ws[w]
+			for {
+				u, ok := self.pop()
+				if !ok {
+					select {
+					case <-done:
+						return
+					case <-self.wake:
+						continue
+					}
+				}
+				if e.opts.Limit > 0 && vioCount.Load() >= int64(e.opts.Limit) {
+					// drain without expanding
+					if pending.Add(-1) == 0 {
+						finish()
+					}
+					continue
+				}
+				res := e.expand(w, u)
+				self.cost += res.cost
+				unitCount.Add(1)
+				if len(res.children) > 0 {
+					pending.Add(int64(len(res.children)))
+					if res.split {
+						splits.Add(1)
+						for i, child := range res.children {
+							ws[i%p].push(child)
+						}
+					} else {
+						for _, child := range res.children {
+							self.push(child)
+						}
+					}
+				}
+				if len(res.vios) > 0 {
+					self.vios = append(self.vios, res.vios...)
+					vioCount.Add(int64(len(res.vios)))
+				}
+				if pending.Add(-1) == 0 {
+					finish()
+				}
+			}
+		}(i)
+	}
+
+	// balancer: the paper's workload monitor at interval intvl.
+	if e.opts.Balance {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// interpret Intvl cost units as microseconds at real-time
+			// scale (1 cost unit ≈ 1 µs of work)
+			tick := time.Duration(e.opts.Intvl) * time.Microsecond
+			if tick < 100*time.Microsecond {
+				tick = 100 * time.Microsecond
+			}
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					balEvents.Add(1)
+					sizes := make([]int, p)
+					total := 0
+					for i, w := range ws {
+						sizes[i] = w.size()
+						total += sizes[i]
+					}
+					if total == 0 {
+						continue
+					}
+					avg := float64(total) / float64(p)
+					var targets []*gworker
+					for i, w := range ws {
+						if float64(sizes[i]) < e.opts.EtaLow*avg {
+							targets = append(targets, w)
+						}
+					}
+					if len(targets) == 0 {
+						continue
+					}
+					for i, w := range ws {
+						if float64(sizes[i]) <= e.opts.Eta*avg {
+							continue
+						}
+						excess := sizes[i] - int(avg)
+						if excess <= 0 {
+							continue
+						}
+						units := w.takeFront(excess)
+						moved.Add(int64(len(units)))
+						for j, u := range units {
+							targets[j%len(targets)].push(u)
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+
+	var vios []taggedVio
+	met := Metrics{
+		Units:         int(unitCount.Load()),
+		Splits:        int(splits.Load()),
+		Moved:         int(moved.Load()),
+		BalanceEvents: int(balEvents.Load()),
+	}
+	for _, w := range ws {
+		vios = append(vios, w.vios...)
+		met.WorkerCost = append(met.WorkerCost, w.cost)
+		met.TotalWork += w.cost
+		if w.cost > met.Makespan {
+			met.Makespan = w.cost
+		}
+	}
+	sortViolations(vios)
+	return vios, met
+}

@@ -1,0 +1,217 @@
+package par
+
+import "fmt"
+
+// debugBalance dumps balancer state (tests only).
+var debugBalance = false
+
+// xferCPU is the CPU cost (in scan-entry units) of serializing or
+// deserializing one transferred work unit — a few dozen bytes, an order of
+// magnitude below the cost of expanding a typical unit.
+const xferCPU = 0.1
+
+// vworker is one simulated processor: a FIFO work queue and a clock in cost
+// units.
+type vworker struct {
+	clock float64
+	work  float64 // pure processing cost (no idle/monitor time)
+	q     []*unit
+	head  int
+	vios  []taggedVio
+}
+
+func (w *vworker) empty() bool  { return w.head >= len(w.q) }
+func (w *vworker) size() int    { return len(w.q) - w.head }
+func (w *vworker) front() *unit { return w.q[w.head] }
+func (w *vworker) pop() *unit   { u := w.q[w.head]; w.q[w.head] = nil; w.head++; return u }
+func (w *vworker) push(u *unit) { w.q = append(w.q, u) }
+func (w *vworker) compact()     { w.q = append([]*unit(nil), w.q[w.head:]...); w.head = 0 }
+func (w *vworker) takeTail(n int) []*unit {
+	if n > w.size() {
+		n = w.size()
+	}
+	cut := len(w.q) - n
+	out := append([]*unit(nil), w.q[cut:]...)
+	w.q = w.q[:cut]
+	return out
+}
+
+// runVirtual executes the engine under the deterministic discrete-event
+// driver. initial[i] seeds worker i's queue; startCost is charged to every
+// worker up front (candidate-neighborhood construction and replication).
+func (e *engine) runVirtual(initial [][]*unit, startCost float64) ([]taggedVio, Metrics) {
+	p := e.opts.P
+	ws := make([]*vworker, p)
+	for i := 0; i < p; i++ {
+		ws[i] = &vworker{clock: startCost}
+		for _, u := range initial[i] {
+			ws[i].push(u)
+		}
+	}
+	var met Metrics
+	met.Makespan = startCost
+	nextBal := e.opts.Intvl
+	totalVios := 0
+
+	for {
+		// next event: the worker whose front unit can start earliest
+		w, start := -1, 0.0
+		for i, vw := range ws {
+			if vw.empty() {
+				continue
+			}
+			s := vw.clock
+			if r := vw.front().ready; r > s {
+				s = r
+			}
+			if w < 0 || s < start {
+				w, start = i, s
+			}
+		}
+		if w < 0 {
+			break // all queues drained
+		}
+		if e.opts.Balance && start >= nextBal {
+			met.BalanceEvents++
+			met.Moved += e.vbalance(ws, nextBal)
+			nextBal += e.opts.Intvl
+			continue
+		}
+		vw := ws[w]
+		u := vw.pop()
+		res := e.expand(w, u)
+		if start < u.ready {
+			start = u.ready
+		}
+		vw.clock = start + res.cost
+		vw.work += res.cost
+		met.TotalWork += res.cost
+		met.Units++
+		if res.split {
+			met.Splits++
+			for i, child := range res.children {
+				// shares become available after the broadcast latency
+				child.ready = vw.clock + float64(e.opts.TrueLatency)
+				ws[i%p].push(child)
+			}
+		} else {
+			for _, child := range res.children {
+				child.ready = vw.clock
+				vw.push(child)
+			}
+		}
+		if len(res.vios) > 0 {
+			vw.vios = append(vw.vios, res.vios...)
+			totalVios += len(res.vios)
+			if e.opts.Limit > 0 && totalVios >= e.opts.Limit {
+				break
+			}
+		}
+	}
+
+	var vios []taggedVio
+	for _, vw := range ws {
+		vios = append(vios, vw.vios...)
+		met.WorkerCost = append(met.WorkerCost, vw.clock)
+		if vw.clock > met.Makespan {
+			met.Makespan = vw.clock
+		}
+	}
+	sortViolations(vios)
+	return vios, met
+}
+
+// vbalance implements the paper's periodic redistribution at virtual time T:
+// workers whose queue skewness exceeds η shed their excess evenly onto
+// workers below η′. Every worker pays a monitoring cost; each transferred
+// unit pays a communication latency and becomes available at T + latency.
+func (e *engine) vbalance(ws []*vworker, T float64) int {
+	p := len(ws)
+	lat := float64(e.opts.TrueLatency)
+	total := 0
+	for _, vw := range ws {
+		total += vw.size()
+	}
+	if total == 0 {
+		return 0
+	}
+	avg := float64(total) / float64(p)
+	if debugBalance {
+		sizes := make([]int, p)
+		works := make([]int, p)
+		clocks := make([]int, p)
+		for i, vw := range ws {
+			sizes[i] = vw.size()
+			works[i] = int(vw.work)
+			clocks[i] = int(vw.clock)
+		}
+		fmt.Printf("bal T=%.0f sizes=%v works=%v clocks=%v\n", T, sizes, works, clocks)
+	}
+	// monitoring cost: a status round-trip per worker
+	for _, vw := range ws {
+		if vw.clock < T {
+			vw.clock = T
+		}
+		vw.clock += lat / 2
+	}
+	// receivers: workers below the low-water mark, each accepting at most
+	// its deficit (avg − size), so a transfer never turns a receiver into
+	// the next straggler (otherwise a single idle worker absorbs the whole
+	// backlog and the imbalance ping-pongs)
+	type recv struct {
+		w       *vworker
+		deficit int
+	}
+	var targets []recv
+	for _, vw := range ws {
+		if float64(vw.size()) < e.opts.EtaLow*avg {
+			if def := int(avg) - vw.size(); def > 0 {
+				targets = append(targets, recv{vw, def})
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return 0
+	}
+	moved := 0
+	for _, vw := range ws {
+		if float64(vw.size()) <= e.opts.Eta*avg {
+			continue
+		}
+		excess := vw.size() - int(avg)
+		want := 0
+		for _, t := range targets {
+			want += t.deficit
+		}
+		if excess > want {
+			excess = want
+		}
+		if excess <= 0 {
+			continue
+		}
+		units := vw.takeTail(excess)
+		// serializing the shed units costs the sender CPU (a partial
+		// solution is a few dozen bytes — far less than expanding it);
+		// the latency is a delay on availability, not CPU time
+		vw.clock += xferCPU * float64(len(units))
+		ti := 0
+		for _, u := range units {
+			for targets[ti].deficit == 0 {
+				ti = (ti + 1) % len(targets)
+			}
+			u.ready = T + lat
+			u.xferCharge = xferCPU // deserialize on arrival
+			targets[ti].w.push(u)
+			targets[ti].deficit--
+			ti = (ti + 1) % len(targets)
+		}
+		moved += len(units)
+	}
+	// reclaim popped prefixes so queue sizes stay meaningful
+	for _, vw := range ws {
+		if vw.head > 1024 && vw.head > vw.size() {
+			vw.compact()
+		}
+	}
+	return moved
+}

@@ -1,0 +1,113 @@
+// Package partition fragments a graph across p workers by edge-cut
+// (paper §6.3: PIncDect works on a graph partitioned via edge-cut or
+// vertex-cut; the paper's experiments use METIS). Two partitioners are
+// provided:
+//
+//   - Hash: stateless modulo assignment (baseline).
+//   - Greedy: a single-pass streaming partitioner in the spirit of
+//     Fennel/LDG — each node goes to the fragment holding most of its
+//     already-placed neighbors, penalized by fragment load — which, like
+//     METIS, keeps fragments balanced while reducing crossing edges.
+//
+// Fragmentation drives worker ownership of update pivots and the
+// communication-cost accounting of the parallel engine: an edge whose
+// endpoints live in different fragments is a crossing edge.
+package partition
+
+import (
+	"ngd/internal/graph"
+)
+
+// Partition assigns every node to one of p fragments.
+type Partition struct {
+	P    int
+	Frag []int8 // Frag[v] = fragment of node v
+}
+
+// Owner returns the fragment owning node v.
+func (pt *Partition) Owner(v graph.NodeID) int { return int(pt.Frag[v]) }
+
+// Hash partitions nodes round-robin by id.
+func Hash(g *graph.Graph, p int) *Partition {
+	if p < 1 {
+		p = 1
+	}
+	pt := &Partition{P: p, Frag: make([]int8, g.NumNodes())}
+	for v := range pt.Frag {
+		pt.Frag[v] = int8(v % p)
+	}
+	return pt
+}
+
+// Greedy streams nodes in id order, placing each on the fragment with the
+// highest score: (#neighbors already there) − load_penalty. Balance is
+// enforced with a hard capacity of ⌈1.1·|V|/p⌉ per fragment.
+func Greedy(g *graph.Graph, p int) *Partition {
+	if p < 1 {
+		p = 1
+	}
+	n := g.NumNodes()
+	pt := &Partition{P: p, Frag: make([]int8, n)}
+	for v := range pt.Frag {
+		pt.Frag[v] = -1
+	}
+	load := make([]int, p)
+	capacity := (n*11)/(10*p) + 1
+	scores := make([]int, p)
+	for v := 0; v < n; v++ {
+		for i := range scores {
+			scores[i] = 0
+		}
+		for _, h := range g.Out(graph.NodeID(v)) {
+			if f := pt.Frag[h.To]; f >= 0 {
+				scores[f]++
+			}
+		}
+		for _, h := range g.In(graph.NodeID(v)) {
+			if f := pt.Frag[h.To]; f >= 0 {
+				scores[f]++
+			}
+		}
+		best, bestScore := -1, -1<<30
+		for i := 0; i < p; i++ {
+			if load[i] >= capacity {
+				continue
+			}
+			// neighbor affinity minus a linear load penalty, scaled so the
+			// penalty matters once fragments diverge by >2% of |V|/p
+			s := scores[i]*50*p - load[i]*p*50/(n+1)
+			if s > bestScore {
+				best, bestScore = i, s
+			}
+		}
+		if best < 0 {
+			best = v % p // all at capacity (can't happen with slack > 1)
+		}
+		pt.Frag[v] = int8(best)
+		load[best]++
+	}
+	return pt
+}
+
+// CrossingEdges counts edges whose endpoints are in different fragments
+// (the edge-cut objective).
+func (pt *Partition) CrossingEdges(g *graph.Graph) int {
+	cut := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, h := range g.Out(graph.NodeID(v)) {
+			if pt.Frag[v] != pt.Frag[h.To] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// Loads returns the node count per fragment.
+func (pt *Partition) Loads() []int {
+	loads := make([]int, pt.P)
+	for _, f := range pt.Frag {
+		loads[f]++
+	}
+	return loads
+}

@@ -1,0 +1,240 @@
+// Package pattern implements the graph patterns Q[x̄] of Fan et al.
+// (SIGMOD 2018), §2: directed graphs whose nodes carry labels from Γ or the
+// wildcard '_', with a distinct variable per node. Patterns are matched in
+// data graphs by homomorphism (package match).
+package pattern
+
+import (
+	"fmt"
+
+	"ngd/internal/graph"
+)
+
+// Node is a pattern node: a variable bound to a label ("_" is the wildcard
+// matching any node label).
+type Node struct {
+	Var   string
+	Label string
+}
+
+// Edge is a pattern edge between node indices with an edge label.
+type Edge struct {
+	Src, Dst int
+	Label    string
+}
+
+// Pattern is a graph pattern Q[x̄]. The variable list x̄ is Nodes[i].Var in
+// index order; the mapping µ from variables to nodes is the index itself.
+type Pattern struct {
+	Nodes []Node
+	Edges []Edge
+
+	varIndex map[string]int
+}
+
+// New returns an empty pattern.
+func New() *Pattern {
+	return &Pattern{varIndex: make(map[string]int)}
+}
+
+// AddNode appends a pattern node and returns its index. It panics if the
+// variable name repeats: µ must be a bijection (paper §2).
+func (p *Pattern) AddNode(variable, label string) int {
+	if p.varIndex == nil {
+		p.varIndex = make(map[string]int)
+	}
+	if _, dup := p.varIndex[variable]; dup {
+		panic(fmt.Sprintf("pattern: duplicate variable %q", variable))
+	}
+	idx := len(p.Nodes)
+	p.Nodes = append(p.Nodes, Node{Var: variable, Label: label})
+	p.varIndex[variable] = idx
+	return idx
+}
+
+// AddEdge appends a directed pattern edge.
+func (p *Pattern) AddEdge(src, dst int, label string) {
+	p.Edges = append(p.Edges, Edge{Src: src, Dst: dst, Label: label})
+}
+
+// VarIndex resolves a variable name to its node index (-1 if absent).
+func (p *Pattern) VarIndex(name string) int {
+	if p.varIndex != nil {
+		if i, ok := p.varIndex[name]; ok {
+			return i
+		}
+	}
+	for i, n := range p.Nodes {
+		if n.Var == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural well-formedness: at least one node, distinct
+// variables, edge endpoints in range.
+func (p *Pattern) Validate() error {
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("pattern: no nodes")
+	}
+	seen := make(map[string]struct{}, len(p.Nodes))
+	for i, n := range p.Nodes {
+		if n.Var == "" {
+			return fmt.Errorf("pattern: node %d has empty variable", i)
+		}
+		if _, dup := seen[n.Var]; dup {
+			return fmt.Errorf("pattern: duplicate variable %q", n.Var)
+		}
+		seen[n.Var] = struct{}{}
+	}
+	for i, e := range p.Edges {
+		if e.Src < 0 || e.Src >= len(p.Nodes) || e.Dst < 0 || e.Dst >= len(p.Nodes) {
+			return fmt.Errorf("pattern: edge %d endpoints out of range", i)
+		}
+	}
+	return nil
+}
+
+// undirAdj builds the undirected adjacency over node indices.
+func (p *Pattern) undirAdj() [][]int {
+	adj := make([][]int, len(p.Nodes))
+	for _, e := range p.Edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		if e.Src != e.Dst {
+			adj[e.Dst] = append(adj[e.Dst], e.Src)
+		}
+	}
+	return adj
+}
+
+// Components returns the connected components of Q taken as an undirected
+// graph, each as a sorted slice of node indices.
+func (p *Pattern) Components() [][]int {
+	adj := p.undirAdj()
+	comp := make([]int, len(p.Nodes))
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	for i := range p.Nodes {
+		if comp[i] >= 0 {
+			continue
+		}
+		id := len(comps)
+		stack := []int{i}
+		comp[i] = id
+		var members []int
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, u)
+			for _, w := range adj[u] {
+				if comp[w] < 0 {
+					comp[w] = id
+					stack = append(stack, w)
+				}
+			}
+		}
+		comps = append(comps, members)
+	}
+	return comps
+}
+
+// Connected reports whether Q is connected as an undirected graph.
+func (p *Pattern) Connected() bool { return len(p.Components()) <= 1 }
+
+// Diameter returns d_Q: the maximum over node pairs of the shortest
+// undirected distance within a component (the locality radius of the paper's
+// dΣ-neighborhoods). Single-node patterns have diameter 0; disconnected
+// patterns report the maximum component diameter.
+func (p *Pattern) Diameter() int {
+	adj := p.undirAdj()
+	n := len(p.Nodes)
+	maxD := 0
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[u] {
+				if dist[w] < 0 {
+					dist[w] = dist[u] + 1
+					if dist[w] > maxD {
+						maxD = dist[w]
+					}
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return maxD
+}
+
+// String renders the pattern in the rule DSL's pattern syntax.
+func (p *Pattern) String() string {
+	s := ""
+	for i, n := range p.Nodes {
+		if i > 0 {
+			s += "; "
+		}
+		s += n.Var + ":" + n.Label
+	}
+	for _, e := range p.Edges {
+		s += fmt.Sprintf("; %s -%s-> %s", p.Nodes[e.Src].Var, e.Label, p.Nodes[e.Dst].Var)
+	}
+	return s
+}
+
+// Compiled is a pattern with labels resolved against a concrete graph's
+// symbol table, plus the adjacency structures the matcher needs. Labels the
+// graph has never seen resolve to graph.NoLabel, making their nodes/edges
+// unmatchable (correct: no graph element carries them).
+type Compiled struct {
+	Src        *Pattern
+	NodeLabels []graph.LabelID
+	EdgeLabels []graph.LabelID
+	// OutEdges[i] lists indices of pattern edges with Src == i;
+	// InEdges[i] those with Dst == i.
+	OutEdges [][]int
+	InEdges  [][]int
+}
+
+// Compile resolves the pattern against a symbol table without interning new
+// labels (a label the graph lacks cannot match anyway).
+func Compile(p *Pattern, syms *graph.Symbols) *Compiled {
+	c := &Compiled{
+		Src:        p,
+		NodeLabels: make([]graph.LabelID, len(p.Nodes)),
+		EdgeLabels: make([]graph.LabelID, len(p.Edges)),
+		OutEdges:   make([][]int, len(p.Nodes)),
+		InEdges:    make([][]int, len(p.Nodes)),
+	}
+	for i, n := range p.Nodes {
+		if n.Label == "_" {
+			c.NodeLabels[i] = graph.Wildcard
+		} else {
+			c.NodeLabels[i] = syms.LookupLabel(n.Label)
+		}
+	}
+	for i, e := range p.Edges {
+		c.EdgeLabels[i] = syms.LookupLabel(e.Label)
+		c.OutEdges[e.Src] = append(c.OutEdges[e.Src], i)
+		c.InEdges[e.Dst] = append(c.InEdges[e.Dst], i)
+	}
+	return c
+}
+
+// NodeMatches reports whether graph label gl satisfies pattern node u's
+// label constraint (wildcard matches everything; paper §2 pattern matching
+// condition (a)).
+func (c *Compiled) NodeMatches(u int, gl graph.LabelID) bool {
+	pl := c.NodeLabels[u]
+	return pl == graph.Wildcard || pl == gl
+}

@@ -1,0 +1,177 @@
+package pattern
+
+import (
+	"testing"
+
+	"ngd/internal/graph"
+)
+
+func TestValidate(t *testing.T) {
+	p := New()
+	p.AddNode("x", "a")
+	p.AddNode("y", "b")
+	p.AddEdge(0, 1, "e")
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid pattern rejected: %v", err)
+	}
+
+	empty := New()
+	if err := empty.Validate(); err == nil {
+		t.Error("empty pattern accepted")
+	}
+
+	bad := &Pattern{Nodes: []Node{{Var: "x", Label: "a"}, {Var: "x", Label: "b"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate variable accepted")
+	}
+
+	oob := &Pattern{Nodes: []Node{{Var: "x", Label: "a"}}, Edges: []Edge{{Src: 0, Dst: 5, Label: "e"}}}
+	if err := oob.Validate(); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+
+	noVar := &Pattern{Nodes: []Node{{Var: "", Label: "a"}}}
+	if err := noVar.Validate(); err == nil {
+		t.Error("empty variable accepted")
+	}
+}
+
+func TestDuplicateVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddNode with duplicate variable should panic")
+		}
+	}()
+	p := New()
+	p.AddNode("x", "a")
+	p.AddNode("x", "b")
+}
+
+func TestDiameter(t *testing.T) {
+	// single node: 0
+	p1 := New()
+	p1.AddNode("x", "a")
+	if d := p1.Diameter(); d != 0 {
+		t.Errorf("single node diameter = %d", d)
+	}
+
+	// star x->a, x->b: diameter 2 (a to b through x, undirected)
+	star := New()
+	x := star.AddNode("x", "_")
+	a := star.AddNode("a", "i")
+	b := star.AddNode("b", "i")
+	star.AddEdge(x, a, "p")
+	star.AddEdge(x, b, "p")
+	if d := star.Diameter(); d != 2 {
+		t.Errorf("star diameter = %d, want 2", d)
+	}
+
+	// chain of 4 nodes: diameter 3 regardless of edge directions
+	chain := New()
+	n0 := chain.AddNode("n0", "_")
+	n1 := chain.AddNode("n1", "_")
+	n2 := chain.AddNode("n2", "_")
+	n3 := chain.AddNode("n3", "_")
+	chain.AddEdge(n0, n1, "e")
+	chain.AddEdge(n2, n1, "e") // reversed direction on purpose
+	chain.AddEdge(n2, n3, "e")
+	if d := chain.Diameter(); d != 3 {
+		t.Errorf("chain diameter = %d, want 3", d)
+	}
+
+	// two components: max component diameter
+	two := New()
+	u0 := two.AddNode("u0", "_")
+	u1 := two.AddNode("u1", "_")
+	two.AddNode("solo", "_")
+	two.AddEdge(u0, u1, "e")
+	if d := two.Diameter(); d != 1 {
+		t.Errorf("two-component diameter = %d, want 1", d)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	p := New()
+	a := p.AddNode("a", "_")
+	b := p.AddNode("b", "_")
+	c := p.AddNode("c", "_")
+	p.AddNode("d", "_")
+	p.AddEdge(a, b, "e")
+	p.AddEdge(c, b, "e")
+
+	comps := p.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if p.Connected() {
+		t.Error("disconnected pattern reported connected")
+	}
+	sizes := map[int]bool{len(comps[0]): true, len(comps[1]): true}
+	if !sizes[3] || !sizes[1] {
+		t.Errorf("component sizes wrong: %v", comps)
+	}
+}
+
+func TestVarIndex(t *testing.T) {
+	p := New()
+	p.AddNode("x", "a")
+	p.AddNode("y", "b")
+	if p.VarIndex("x") != 0 || p.VarIndex("y") != 1 {
+		t.Error("VarIndex of known vars")
+	}
+	if p.VarIndex("z") != -1 {
+		t.Error("VarIndex of unknown var should be -1")
+	}
+	// a manually built pattern without the index map still resolves
+	manual := &Pattern{Nodes: []Node{{Var: "q", Label: "a"}}}
+	if manual.VarIndex("q") != 0 {
+		t.Error("VarIndex fallback scan failed")
+	}
+}
+
+func TestCompile(t *testing.T) {
+	syms := graph.NewSymbols()
+	syms.Label("person")
+	syms.Label("knows")
+
+	p := New()
+	x := p.AddNode("x", "person")
+	y := p.AddNode("y", "_")
+	z := p.AddNode("z", "ghost") // label unknown to the graph
+	p.AddEdge(x, y, "knows")
+	p.AddEdge(y, z, "haunts") // unknown edge label
+
+	c := Compile(p, syms)
+	if c.NodeLabels[0] == graph.NoLabel || c.NodeLabels[0] == graph.Wildcard {
+		t.Error("person should resolve to a real label")
+	}
+	if c.NodeLabels[1] != graph.Wildcard {
+		t.Error("wildcard should compile to Wildcard")
+	}
+	if c.NodeLabels[2] != graph.NoLabel {
+		t.Error("unknown label should compile to NoLabel")
+	}
+	if c.EdgeLabels[1] != graph.NoLabel {
+		t.Error("unknown edge label should compile to NoLabel")
+	}
+	if !c.NodeMatches(1, syms.LookupLabel("person")) {
+		t.Error("wildcard must match any label")
+	}
+	if c.NodeMatches(2, syms.LookupLabel("person")) {
+		t.Error("NoLabel must match nothing")
+	}
+	if len(c.OutEdges[0]) != 1 || len(c.InEdges[1]) != 1 {
+		t.Error("edge adjacency wrong")
+	}
+}
+
+func TestString(t *testing.T) {
+	p := New()
+	x := p.AddNode("x", "a")
+	y := p.AddNode("y", "_")
+	p.AddEdge(x, y, "e")
+	want := "x:a; y:_; x -e-> y"
+	if got := p.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,220 @@
+// Package reason implements the static analyses of NGDs (paper §4): the
+// satisfiability, strong satisfiability and implication problems, which are
+// Σp2-complete, Σp2-complete and Πp2-complete respectively (Theorem 1).
+//
+// The decision procedure rests on a canonical-instance property mirroring
+// the paper's small-model argument: Σ is strongly satisfiable iff the
+// *canonical instance* — the disjoint union of all patterns in Σ, with
+// every wildcard node given a fresh label — admits an attribute assignment
+// (values and *presence*) under which every homomorphic match of every
+// pattern satisfies its rule. Pulling any model G back along the canonical
+// matches shows completeness; the canonical instance itself is the witness
+// for soundness. Plain satisfiability quantifies existentially over which
+// single pattern is materialized, and Σ ⊨ φ fails exactly when the
+// canonical instance of Q_φ supports an assignment satisfying Σ while
+// violating X_φ → Y_φ on the identity match.
+//
+// The exponential lives where the complexity class says it must: in the
+// enumeration of matches and in the disjunctive search over ways to satisfy
+// or falsify literals (missing attribute vs. negated comparison, paper §3
+// semantics), with exact integer linear feasibility (package solver) as the
+// base case. Inputs with non-linear expressions are rejected up front: by
+// Theorem 3 the analyses are undecidable already at degree 2.
+package reason
+
+import (
+	"errors"
+	"fmt"
+
+	"ngd/internal/core"
+	"ngd/internal/graph"
+	"ngd/internal/match"
+	"ngd/internal/pattern"
+	"ngd/internal/solver"
+)
+
+// ErrNonLinear reports rules outside the linear fragment (undecidable).
+var ErrNonLinear = errors.New("reason: non-linear NGD: satisfiability and implication are undecidable (Theorem 3)")
+
+// Verdict is a three-valued answer; Unknown arises only when a search
+// budget is exhausted.
+type Verdict uint8
+
+// Verdict values.
+const (
+	No Verdict = iota
+	Yes
+	Unknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case No:
+		return "no"
+	case Yes:
+		return "yes"
+	default:
+		return "unknown"
+	}
+}
+
+// Options bound the analyses.
+type Options struct {
+	// MaxMatches caps pattern-match enumeration per canonical instance.
+	MaxMatches int
+	// MaxBranches caps the disjunctive search tree.
+	MaxBranches int
+	// Solver passes through to the integer feasibility solver.
+	Solver solver.Options
+}
+
+func (o Options) defaults() Options {
+	if o.MaxMatches <= 0 {
+		o.MaxMatches = 2000
+	}
+	if o.MaxBranches <= 0 {
+		o.MaxBranches = 200000
+	}
+	return o
+}
+
+// Satisfiable decides whether Σ has a model in which at least one pattern
+// of Σ matches (paper §4 satisfiability).
+func Satisfiable(rules *core.Set, opts Options) (Verdict, error) {
+	if err := checkLinear(rules.Rules...); err != nil {
+		return Unknown, err
+	}
+	opts = opts.defaults()
+	sawUnknown := false
+	for _, r := range rules.Rules {
+		v, err := consistentCanonical(rules, []*pattern.Pattern{r.Pattern}, nil, opts)
+		if err != nil {
+			return Unknown, err
+		}
+		switch v {
+		case Yes:
+			return Yes, nil
+		case Unknown:
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		return Unknown, nil
+	}
+	return No, nil
+}
+
+// StronglySatisfiable decides whether Σ has a model in which *every*
+// pattern of Σ matches.
+func StronglySatisfiable(rules *core.Set, opts Options) (Verdict, error) {
+	if err := checkLinear(rules.Rules...); err != nil {
+		return Unknown, err
+	}
+	opts = opts.defaults()
+	var pats []*pattern.Pattern
+	for _, r := range rules.Rules {
+		pats = append(pats, r.Pattern)
+	}
+	return consistentCanonical(rules, pats, nil, opts)
+}
+
+// Implies decides Σ ⊨ φ: Yes when every model of Σ satisfies φ.
+func Implies(rules *core.Set, phi *core.NGD, opts Options) (Verdict, error) {
+	if err := checkLinear(append(append([]*core.NGD{}, rules.Rules...), phi)...); err != nil {
+		return Unknown, err
+	}
+	opts = opts.defaults()
+	// witness search: canonical(Q_φ) satisfying Σ with the identity match
+	// violating X_φ → Y_φ
+	v, err := consistentCanonical(rules, []*pattern.Pattern{phi.Pattern}, phi, opts)
+	if err != nil {
+		return Unknown, err
+	}
+	switch v {
+	case Yes:
+		return No, nil // witness exists: not implied
+	case No:
+		return Yes, nil
+	default:
+		return Unknown, nil
+	}
+}
+
+func checkLinear(rules ...*core.NGD) error {
+	for _, r := range rules {
+		for _, l := range append(append([]core.Literal{}, r.X...), r.Y...) {
+			if !l.IsLinear() {
+				return fmt.Errorf("%w: rule %s literal %s", ErrNonLinear, r.Name, l)
+			}
+		}
+	}
+	return nil
+}
+
+// canonical builds the canonical instance of the given patterns: their
+// disjoint union with fresh labels on wildcard nodes. It returns the graph
+// and, for each input pattern, its identity match.
+func canonical(pats []*pattern.Pattern) (*graph.Graph, []core.Match) {
+	g := graph.New()
+	fresh := 0
+	matches := make([]core.Match, len(pats))
+	for pi, p := range pats {
+		m := make(core.Match, len(p.Nodes))
+		for i, n := range p.Nodes {
+			label := n.Label
+			if label == "_" {
+				label = fmt.Sprintf("⊥fresh%d", fresh) // ⊥freshN: never in Γ
+				fresh++
+			}
+			m[i] = g.AddNode(label)
+		}
+		for _, e := range p.Edges {
+			g.AddEdge(m[e.Src], m[e.Dst], e.Label)
+		}
+		matches[pi] = m
+	}
+	return g, matches
+}
+
+// implication is one obligation: match m of rule r must satisfy X → Y.
+type implication struct {
+	rule *core.NGD
+	m    core.Match
+}
+
+// consistentCanonical reports whether the canonical instance of pats admits
+// an attribute assignment making every match of every Σ-rule satisfy its
+// dependency, and (when negate != nil) making the identity match of
+// negate's pattern violate negate.
+func consistentCanonical(rules *core.Set, pats []*pattern.Pattern, negate *core.NGD, opts Options) (Verdict, error) {
+	g, idMatches := canonical(pats)
+
+	// enumerate obligations: all matches of all Σ-patterns
+	var obligations []implication
+	for _, r := range rules.Rules {
+		cp := pattern.Compile(r.Pattern, g.Symbols())
+		plan := match.BuildPlan(cp, nil, match.GraphSelectivity(g, cp))
+		mr := match.NewMatcher(g, plan, match.Hooks{})
+		over := false
+		mr.Run(match.NewPartial(len(r.Pattern.Nodes)), func(sol []graph.NodeID) bool {
+			obligations = append(obligations, implication{rule: r, m: append(core.Match(nil), sol...)})
+			if len(obligations) > opts.MaxMatches {
+				over = true
+				return false
+			}
+			return true
+		})
+		if over {
+			return Unknown, nil
+		}
+	}
+
+	st := newSearch(g, opts)
+	budget := opts.MaxBranches
+	var idm core.Match
+	if len(idMatches) > 0 {
+		idm = idMatches[0]
+	}
+	v := st.searchImplications(obligations, 0, negate, idm, &budget)
+	return v, nil
+}

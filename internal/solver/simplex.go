@@ -1,0 +1,315 @@
+// Package solver decides feasibility of systems of linear constraints over
+// integers with exact rational arithmetic — the numeric back-end of the
+// NGD satisfiability and implication analyses (paper §4). The paper notes
+// that linear arithmetic over integers has an NP-complete satisfiability
+// problem; this solver runs a two-phase exact simplex (Bland's rule, so it
+// always terminates) on the rational relaxation and branches-and-bounds to
+// integrality.
+package solver
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Rel is a constraint relation.
+type Rel uint8
+
+// Constraint relations. Ne is handled by disjunctive branching; Lt/Gt over
+// integers become Le/Ge with a ±1 adjustment.
+const (
+	Le Rel = iota
+	Ge
+	Eq
+	Lt
+	Gt
+	Ne
+)
+
+func (r Rel) String() string {
+	switch r {
+	case Le:
+		return "<="
+	case Ge:
+		return ">="
+	case Eq:
+		return "="
+	case Lt:
+		return "<"
+	case Gt:
+		return ">"
+	default:
+		return "!="
+	}
+}
+
+// Constraint is Σᵢ Coef[i]·x_{Var[i]} Rel RHS.
+type Constraint struct {
+	Vars []int
+	Coef []*big.Rat
+	Rel  Rel
+	RHS  *big.Rat
+}
+
+// NewConstraint builds a constraint from parallel slices.
+func NewConstraint(vars []int, coef []*big.Rat, rel Rel, rhs *big.Rat) Constraint {
+	return Constraint{Vars: vars, Coef: coef, Rel: rel, RHS: rhs}
+}
+
+func (c Constraint) String() string {
+	s := ""
+	for i, v := range c.Vars {
+		if i > 0 {
+			s += " + "
+		}
+		s += fmt.Sprintf("%s·x%d", c.Coef[i].RatString(), v)
+	}
+	return fmt.Sprintf("%s %s %s", s, c.Rel, c.RHS.RatString())
+}
+
+// System is a conjunction of constraints over NumVars variables.
+// Variables are unbounded (±∞) and range over the integers when Integer is
+// set (the NGD attribute domain), otherwise over the rationals.
+type System struct {
+	NumVars int
+	Cons    []Constraint
+	Integer bool
+}
+
+// Status of a feasibility check.
+type Status uint8
+
+// Feasibility outcomes. Unknown is reported only when the branch-and-bound
+// node budget is exhausted.
+const (
+	Infeasible Status = iota
+	Feasible
+	Unknown
+)
+
+func (s Status) String() string {
+	switch s {
+	case Infeasible:
+		return "infeasible"
+	case Feasible:
+		return "feasible"
+	default:
+		return "unknown"
+	}
+}
+
+// Options bound the search.
+type Options struct {
+	// MaxNodes caps branch-and-bound nodes (default 4096).
+	MaxNodes int
+	// MaxNeSplits caps disjunctive ≠ splits (default 16).
+	MaxNeSplits int
+}
+
+func (o Options) defaults() Options {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 4096
+	}
+	if o.MaxNeSplits <= 0 {
+		o.MaxNeSplits = 16
+	}
+	return o
+}
+
+// Solve decides feasibility; on Feasible, the returned assignment satisfies
+// every constraint (integral when s.Integer).
+func (s *System) Solve(opts Options) (Status, []*big.Rat) {
+	opts = opts.defaults()
+	// expand ≠ by branching into < and > (bounded)
+	neCount := 0
+	for _, c := range s.Cons {
+		if c.Rel == Ne {
+			neCount++
+		}
+	}
+	if neCount > opts.MaxNeSplits {
+		return Unknown, nil
+	}
+	budget := opts.MaxNodes
+	return s.solveNe(opts, &budget)
+}
+
+func (s *System) solveNe(opts Options, budget *int) (Status, []*big.Rat) {
+	for i, c := range s.Cons {
+		if c.Rel != Ne {
+			continue
+		}
+		sawUnknown := false
+		for _, rel := range [2]Rel{Lt, Gt} {
+			branch := &System{NumVars: s.NumVars, Integer: s.Integer}
+			branch.Cons = append(branch.Cons, s.Cons[:i]...)
+			branch.Cons = append(branch.Cons, Constraint{Vars: c.Vars, Coef: c.Coef, Rel: rel, RHS: c.RHS})
+			branch.Cons = append(branch.Cons, s.Cons[i+1:]...)
+			st, asg := branch.solveNe(opts, budget)
+			if st == Feasible {
+				return Feasible, asg
+			}
+			if st == Unknown {
+				sawUnknown = true
+			}
+		}
+		if sawUnknown {
+			return Unknown, nil
+		}
+		return Infeasible, nil
+	}
+	return s.branchAndBound(opts, budget)
+}
+
+// normalized converts every constraint to Σ coef·x ≤ rhs form (Eq becomes
+// two inequalities); strict relations over the integers tighten by 1, over
+// the rationals they are handled by the simplex via an ε-perturbation of
+// the RHS (exact: we solve with rhs − ε as a symbolic infinitesimal folded
+// into a lexicographic comparison; for simplicity and exactness we instead
+// scale: a strict rational inequality Σc·x < r is feasible iff Σc·x ≤ r − δ
+// is feasible for some δ > 0, which holds iff the non-strict system
+// augmented with a fresh gap variable g > 0 ... here we use the integer
+// path for NGDs and a small fixed δ for rationals, documented as such).
+func (s *System) normalized() ([]Constraint, bool) {
+	var out []Constraint
+	for _, c := range s.Cons {
+		switch c.Rel {
+		case Le:
+			out = append(out, c)
+		case Ge:
+			out = append(out, negate(c, Le))
+		case Eq:
+			out = append(out, Constraint{Vars: c.Vars, Coef: c.Coef, Rel: Le, RHS: c.RHS})
+			out = append(out, negate(c, Le))
+		case Lt:
+			out = append(out, s.strictToLe(c))
+		case Gt:
+			out = append(out, s.strictToLe(negate(c, Lt)))
+		default:
+			return nil, false // Ne must be eliminated before
+		}
+	}
+	return out, true
+}
+
+// strictToLe converts a strict inequality Σ c·x < r into an equivalent
+// non-strict one. Over the integers the conversion is exact: clear the
+// coefficient denominators (×L, so the left side is integral over integer
+// assignments), then Σ (Lc)·x < L·r  ⇔  Σ (Lc)·x ≤ ⌈L·r⌉ − 1.
+// Over the rationals we subtract a small δ, which is sound (any solution of
+// the tightened system solves the strict one) but incomplete for systems
+// whose only strict-feasibility slack is below δ; the NGD reasoning layer
+// always uses the exact integer path.
+func (s *System) strictToLe(c Constraint) Constraint {
+	if !s.Integer {
+		nc := Constraint{Vars: c.Vars, Coef: c.Coef, Rel: Le,
+			RHS: new(big.Rat).Sub(c.RHS, big.NewRat(1, 1000000))}
+		return nc
+	}
+	l := big.NewInt(1)
+	for _, co := range c.Coef {
+		l = lcm(l, co.Denom())
+	}
+	lr := new(big.Rat).SetInt(l)
+	nc := Constraint{Vars: append([]int(nil), c.Vars...), Rel: Le}
+	nc.Coef = make([]*big.Rat, len(c.Coef))
+	for i, co := range c.Coef {
+		nc.Coef[i] = new(big.Rat).Mul(co, lr)
+	}
+	scaledRHS := new(big.Rat).Mul(c.RHS, lr)
+	nc.RHS = new(big.Rat).Sub(ceilRat(scaledRHS), big.NewRat(1, 1))
+	return nc
+}
+
+func lcm(a, b *big.Int) *big.Int {
+	g := new(big.Int).GCD(nil, nil, a, b)
+	q := new(big.Int).Quo(a, g)
+	return q.Mul(q, b)
+}
+
+func ceilRat(r *big.Rat) *big.Rat {
+	if r.IsInt() {
+		return new(big.Rat).Set(r)
+	}
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	if r.Sign() > 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	return new(big.Rat).SetInt(q)
+}
+
+func floorBig(r *big.Rat) *big.Int {
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	if r.Sign() < 0 && !r.IsInt() {
+		q.Sub(q, big.NewInt(1))
+	}
+	return q
+}
+
+func negate(c Constraint, rel Rel) Constraint {
+	nc := Constraint{Vars: append([]int(nil), c.Vars...), Rel: rel}
+	nc.Coef = make([]*big.Rat, len(c.Coef))
+	for i, co := range c.Coef {
+		nc.Coef[i] = new(big.Rat).Neg(co)
+	}
+	nc.RHS = new(big.Rat).Neg(c.RHS)
+	return nc
+}
+
+// branchAndBound solves the ≠-free system.
+func (s *System) branchAndBound(opts Options, budget *int) (Status, []*big.Rat) {
+	if *budget <= 0 {
+		return Unknown, nil
+	}
+	*budget--
+	cons, ok := s.normalized()
+	if !ok {
+		return Unknown, nil
+	}
+	asg, feas := lpFeasible(s.NumVars, cons)
+	if !feas {
+		return Infeasible, nil
+	}
+	if !s.Integer {
+		return Feasible, asg
+	}
+	// find a fractional variable
+	frac := -1
+	for i, v := range asg {
+		if !v.IsInt() {
+			frac = i
+			break
+		}
+	}
+	if frac < 0 {
+		return Feasible, asg
+	}
+	fl := floorBig(asg[frac])
+	flRat := new(big.Rat).SetInt(fl)
+	ceRat := new(big.Rat).Add(flRat, big.NewRat(1, 1))
+
+	sawUnknown := false
+	// x ≤ ⌊v⌋ branch
+	left := &System{NumVars: s.NumVars, Integer: true,
+		Cons: append(append([]Constraint(nil), s.Cons...),
+			Constraint{Vars: []int{frac}, Coef: []*big.Rat{big.NewRat(1, 1)}, Rel: Le, RHS: flRat})}
+	st, a := left.branchAndBound(opts, budget)
+	if st == Feasible {
+		return Feasible, a
+	}
+	if st == Unknown {
+		sawUnknown = true
+	}
+	// x ≥ ⌈v⌉ branch
+	right := &System{NumVars: s.NumVars, Integer: true,
+		Cons: append(append([]Constraint(nil), s.Cons...),
+			Constraint{Vars: []int{frac}, Coef: []*big.Rat{big.NewRat(1, 1)}, Rel: Ge, RHS: ceRat})}
+	st, a = right.branchAndBound(opts, budget)
+	if st == Feasible {
+		return Feasible, a
+	}
+	if st == Unknown || sawUnknown {
+		return Unknown, nil
+	}
+	return Infeasible, nil
+}

@@ -1,0 +1,221 @@
+// Package ngd is a Go implementation of numeric graph dependencies (NGDs)
+// from Fan, Liu, Lu, Tian: "Catching Numeric Inconsistencies in Graphs"
+// (SIGMOD 2018) — graph data-quality rules that combine a graph pattern,
+// matched by homomorphism, with an attribute dependency X → Y over linear
+// arithmetic expressions and comparison predicates.
+//
+// The package provides:
+//
+//   - attributed directed graphs and batch updates ΔG (edge insertions and
+//     deletions);
+//   - NGD rules, parsed from a text DSL or built programmatically;
+//   - batch violation detection (Dect), parallel batch detection (PDect),
+//     incremental detection (IncDect) and parallel scalable incremental
+//     detection with hybrid workload balancing (PIncDect);
+//   - the static analyses: satisfiability, strong satisfiability and
+//     implication, with exact integer arithmetic;
+//   - workload generators reproducing the paper's evaluation setup.
+//
+// Quick start:
+//
+//	g := ngd.NewGraph()
+//	v := g.AddNode("place")
+//	g.SetAttr(v, "population", ngd.Int(160000))
+//	...
+//	rules, _ := ngd.ParseRules(strings.NewReader(ruleText))
+//	res := ngd.Detect(g, rules)
+//	for _, vio := range res.Violations { fmt.Println(vio) }
+package ngd
+
+import (
+	"io"
+
+	"ngd/internal/core"
+	"ngd/internal/detect"
+	"ngd/internal/dsl"
+	"ngd/internal/expr"
+	"ngd/internal/graph"
+	"ngd/internal/inc"
+	"ngd/internal/par"
+	"ngd/internal/pattern"
+	"ngd/internal/reason"
+)
+
+// Re-exported core types. The aliases expose the full method sets of the
+// internal implementations as the public API.
+type (
+	// Graph is a directed graph with labeled nodes/edges and per-node
+	// attribute tuples (paper §2).
+	Graph = graph.Graph
+	// View is a read-only graph view (a *Graph, or a ΔG overlay).
+	View = graph.View
+	// NodeID identifies a node.
+	NodeID = graph.NodeID
+	// Value is an attribute value (int, string, bool, float).
+	Value = graph.Value
+	// Delta is a batch update ΔG of edge insertions/deletions (§5.2).
+	Delta = graph.Delta
+	// Overlay is the G ⊕ ΔG view of a graph under an unapplied delta.
+	Overlay = graph.Overlay
+	// Pattern is a graph pattern Q[x̄] with wildcard support (§2).
+	Pattern = pattern.Pattern
+	// Rule is an NGD Q[x̄](X → Y) (§3).
+	Rule = core.NGD
+	// RuleSet is a set Σ of NGDs.
+	RuleSet = core.Set
+	// Literal is a comparison e₁ ⊗ e₂ between arithmetic expressions.
+	Literal = core.Literal
+	// Expr is a linear arithmetic expression over terms x.A.
+	Expr = expr.Expr
+	// Match is an instantiation h(x̄) of a pattern in a graph.
+	Match = core.Match
+	// Violation is a match violating a rule: h ⊨ X but h ⊭ Y (§5.1).
+	Violation = core.Violation
+	// DeltaVio is the incremental answer (ΔVio⁺, ΔVio⁻) (§5.2).
+	DeltaVio = inc.DeltaVio
+	// ParallelOptions configure PDect / PIncDect (§6.3): worker count,
+	// the latency parameter C, balancing interval, and the hybrid
+	// strategy toggles.
+	ParallelOptions = par.Options
+	// ParallelMetrics report simulated makespan, work, splits and moves.
+	ParallelMetrics = par.Metrics
+)
+
+// Value constructors.
+var (
+	// Int wraps an integer attribute value.
+	Int = graph.Int
+	// Str wraps a string attribute value.
+	Str = graph.Str
+	// Bool wraps a boolean attribute value (0/1 in arithmetic).
+	Bool = graph.Bool
+	// Float wraps a float attribute value (must be integral to enter
+	// arithmetic).
+	Float = graph.Float
+)
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return graph.New() }
+
+// NewPattern returns an empty pattern; add nodes with AddNode(var, label)
+// ("_" is the wildcard) and edges with AddEdge.
+func NewPattern() *Pattern { return pattern.New() }
+
+// NewRule validates and builds an NGD. Every literal must be linear
+// (Theorem 3) and reference pattern variables only.
+func NewRule(name string, q *Pattern, when, then []Literal) (*Rule, error) {
+	return core.New(name, q, when, then)
+}
+
+// MustRule is NewRule panicking on error.
+func MustRule(name string, q *Pattern, when, then []Literal) *Rule {
+	return core.MustNew(name, q, when, then)
+}
+
+// NewRuleSet bundles rules into a Σ.
+func NewRuleSet(rules ...*Rule) *RuleSet { return core.NewSet(rules...) }
+
+// ParseLiteral parses "e1 <= e2" style text into a literal.
+func ParseLiteral(src string) (Literal, error) { return core.ParseLiteral(src) }
+
+// MustLiteral is ParseLiteral panicking on error.
+func MustLiteral(src string) Literal { return core.MustLiteral(src) }
+
+// ParseExpr parses an arithmetic expression ("a*(x.f - y.f) + 3").
+func ParseExpr(src string) (*Expr, error) { return expr.Parse(src) }
+
+// ParseRules reads the rule-file DSL (see package documentation of
+// internal/dsl for the grammar).
+func ParseRules(r io.Reader) (*RuleSet, error) { return dsl.ParseRules(r) }
+
+// FormatRules renders a rule set in the DSL (re-parseable).
+func FormatRules(set *RuleSet) string { return dsl.FormatRules(set) }
+
+// LoadGraph reads the line-oriented graph format; it returns the graph and
+// the textual-id → NodeID mapping.
+func LoadGraph(r io.Reader) (*Graph, map[string]NodeID, error) { return dsl.LoadGraph(r) }
+
+// WriteGraph renders a graph in the text format.
+func WriteGraph(w io.Writer, g *Graph) error { return dsl.WriteGraph(w, g) }
+
+// LoadDelta reads an update file against g (new nodes are added to g).
+func LoadDelta(r io.Reader, g *Graph, ids map[string]NodeID) (*Delta, error) {
+	return dsl.LoadDelta(r, g, ids)
+}
+
+// Result of a batch detection run.
+type Result struct {
+	// Violations is Vio(Σ, G): every match violating some rule.
+	Violations []Violation
+}
+
+// Detect computes Vio(Σ, G) with the sequential batch algorithm (Dect).
+func Detect(g View, rules *RuleSet) *Result {
+	r := detect.Dect(g, rules, detect.Options{})
+	return &Result{Violations: r.Violations}
+}
+
+// DetectLimit is Detect stopping after limit violations.
+func DetectLimit(g View, rules *RuleSet, limit int) *Result {
+	r := detect.Dect(g, rules, detect.Options{Limit: limit})
+	return &Result{Violations: r.Violations}
+}
+
+// Validate decides G ⊨ Σ (the validation problem; coNP-complete,
+// Corollary 4 — this implementation enumerates matches with literal-based
+// pruning).
+func Validate(g View, rules *RuleSet) bool { return detect.Validate(g, rules) }
+
+// IncDetect computes ΔVio(Σ, G, ΔG) incrementally with the localizable
+// algorithm IncDect (§6.2). g is the pre-update graph and is not mutated;
+// apply the delta afterwards with delta.Apply(g) if desired.
+func IncDetect(g *Graph, rules *RuleSet, delta *Delta) *DeltaVio {
+	r := inc.IncDect(g, rules, delta, inc.Options{})
+	return &r.DeltaVio
+}
+
+// PDetect computes Vio(Σ, G) with the parallel batch algorithm.
+func PDetect(g View, rules *RuleSet, opts ParallelOptions) (*Result, ParallelMetrics) {
+	r := par.PDect(g, rules, opts)
+	return &Result{Violations: r.Violations}, r.Metrics
+}
+
+// PIncDetect computes ΔVio(Σ, G, ΔG) with PIncDect, the parallel scalable
+// incremental algorithm with hybrid workload balancing (§6.3).
+func PIncDetect(g *Graph, rules *RuleSet, delta *Delta, opts ParallelOptions) (*DeltaVio, ParallelMetrics) {
+	r := par.PIncDect(g, rules, delta, opts)
+	return &r.Delta, r.Metrics
+}
+
+// Parallel returns the default hybrid parallel configuration for p workers.
+func Parallel(p int) ParallelOptions { return par.Hybrid(p) }
+
+// Verdict is the three-valued answer of the static analyses.
+type Verdict = reason.Verdict
+
+// Verdict values.
+const (
+	// No: unsatisfiable / not implied.
+	No = reason.No
+	// Yes: satisfiable / implied.
+	Yes = reason.Yes
+	// Unknown: the analysis budget was exhausted.
+	Unknown = reason.Unknown
+)
+
+// Satisfiable decides whether Σ has a model in which some pattern matches
+// (Σp2-complete, Theorem 1; non-linear rules are rejected per Theorem 3).
+func Satisfiable(rules *RuleSet) (Verdict, error) {
+	return reason.Satisfiable(rules, reason.Options{})
+}
+
+// StronglySatisfiable decides whether Σ has a model in which every pattern
+// matches.
+func StronglySatisfiable(rules *RuleSet) (Verdict, error) {
+	return reason.StronglySatisfiable(rules, reason.Options{})
+}
+
+// Implies decides Σ ⊨ φ (Πp2-complete, Theorem 1).
+func Implies(rules *RuleSet, phi *Rule) (Verdict, error) {
+	return reason.Implies(rules, phi, reason.Options{})
+}

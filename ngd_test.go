@@ -1,0 +1,157 @@
+package ngd_test
+
+import (
+	"strings"
+	"testing"
+
+	"ngd"
+)
+
+const quickRules = `
+rule sum {
+  match {
+    x: area
+    f: integer
+    m: integer
+    t: integer
+    x -female-> f
+    x -male-> m
+    x -total-> t
+  }
+  when {
+  }
+  then {
+    f.val + m.val = t.val
+  }
+}
+`
+
+func buildArea(g *ngd.Graph, f, m, tot int64) ngd.NodeID {
+	area := g.AddNode("area")
+	fn := g.AddNode("integer")
+	g.SetAttr(fn, "val", ngd.Int(f))
+	mn := g.AddNode("integer")
+	g.SetAttr(mn, "val", ngd.Int(m))
+	tn := g.AddNode("integer")
+	g.SetAttr(tn, "val", ngd.Int(tot))
+	g.AddEdge(area, fn, "female")
+	g.AddEdge(area, mn, "male")
+	g.AddEdge(area, tn, "total")
+	return area
+}
+
+func TestPublicAPIBatch(t *testing.T) {
+	g := ngd.NewGraph()
+	buildArea(g, 600, 722, 1322) // consistent
+	bad := buildArea(g, 600, 722, 1572)
+
+	rules, err := ngd.ParseRules(strings.NewReader(quickRules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ngd.Validate(g, rules) {
+		t.Fatal("inconsistent graph validated")
+	}
+	res := ngd.Detect(g, rules)
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %d, want 1", len(res.Violations))
+	}
+	v := res.Violations[0]
+	if v.Match[v.Rule.Pattern.VarIndex("x")] != bad {
+		t.Error("wrong entity flagged")
+	}
+	if got := ngd.DetectLimit(g, rules, 1); len(got.Violations) != 1 {
+		t.Error("DetectLimit mismatch")
+	}
+}
+
+func TestPublicAPIIncremental(t *testing.T) {
+	g := ngd.NewGraph()
+	buildArea(g, 1, 2, 3)
+	rules, err := ngd.ParseRules(strings.NewReader(quickRules))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// a new inconsistent area arrives via ΔG
+	area := g.AddNode("area")
+	fn := g.AddNode("integer")
+	g.SetAttr(fn, "val", ngd.Int(10))
+	mn := g.AddNode("integer")
+	g.SetAttr(mn, "val", ngd.Int(20))
+	tn := g.AddNode("integer")
+	g.SetAttr(tn, "val", ngd.Int(99))
+	d := &ngd.Delta{}
+	d.Insert(area, fn, g.Symbols().Label("female"))
+	d.Insert(area, mn, g.Symbols().Label("male"))
+	d.Insert(area, tn, g.Symbols().Label("total"))
+
+	dv := ngd.IncDetect(g, rules, d)
+	if len(dv.Plus) != 1 || len(dv.Minus) != 0 {
+		t.Fatalf("ΔVio = +%d/-%d, want +1/-0", len(dv.Plus), len(dv.Minus))
+	}
+	// parallel agrees
+	pdv, met := ngd.PIncDetect(g, rules, d, ngd.Parallel(4))
+	if len(pdv.Plus) != 1 || len(pdv.Minus) != 0 {
+		t.Fatal("PIncDetect disagrees")
+	}
+	if met.Units == 0 {
+		t.Error("metrics not populated")
+	}
+	// batch parallel on the updated view
+	d.Apply(g)
+	pres, _ := ngd.PDetect(g, rules, ngd.Parallel(4))
+	if len(pres.Violations) != 1 {
+		t.Fatalf("PDetect after apply: %d violations", len(pres.Violations))
+	}
+}
+
+func TestPublicAPIReasoning(t *testing.T) {
+	q1 := ngd.NewPattern()
+	q1.AddNode("x", "_")
+	r1 := ngd.MustRule("a", q1, nil, []ngd.Literal{ngd.MustLiteral("x.v = 7")})
+	q2 := ngd.NewPattern()
+	q2.AddNode("x", "_")
+	r2 := ngd.MustRule("b", q2, nil, []ngd.Literal{ngd.MustLiteral("x.v = 8")})
+
+	if v, err := ngd.Satisfiable(ngd.NewRuleSet(r1)); err != nil || v != ngd.Yes {
+		t.Fatalf("single rule satisfiable: %v %v", v, err)
+	}
+	if v, err := ngd.Satisfiable(ngd.NewRuleSet(r1, r2)); err != nil || v != ngd.No {
+		t.Fatalf("conflicting rules: %v %v", v, err)
+	}
+	if v, err := ngd.StronglySatisfiable(ngd.NewRuleSet(r1)); err != nil || v != ngd.Yes {
+		t.Fatalf("strong: %v %v", v, err)
+	}
+	q3 := ngd.NewPattern()
+	q3.AddNode("x", "_")
+	weaker := ngd.MustRule("c", q3, nil, []ngd.Literal{ngd.MustLiteral("x.v >= 7")})
+	if v, err := ngd.Implies(ngd.NewRuleSet(r1), weaker); err != nil || v != ngd.Yes {
+		t.Fatalf("implication: %v %v", v, err)
+	}
+}
+
+func TestPublicAPIGraphIO(t *testing.T) {
+	g := ngd.NewGraph()
+	buildArea(g, 5, 6, 11)
+	var sb strings.Builder
+	if err := ngd.WriteGraph(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, ids, err := ngd.LoadGraph(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || len(ids) != g.NumNodes() {
+		t.Fatal("graph IO round trip failed")
+	}
+	rules, _ := ngd.ParseRules(strings.NewReader(quickRules))
+	if !ngd.Validate(g2, rules) {
+		t.Error("consistent graph failed validation after round trip")
+	}
+	// rule formatting round-trips
+	again, err := ngd.ParseRules(strings.NewReader(ngd.FormatRules(rules)))
+	if err != nil || again.Len() != rules.Len() {
+		t.Fatalf("rule format round trip: %v", err)
+	}
+}
