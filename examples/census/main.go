@@ -2,6 +2,11 @@
 // population rank, Example 1(3)) on a DBpedia-style fragment, followed by
 // the static analyses of §4 — satisfiability of conflicting rule sets
 // (Example 5) and implication-based rule-set optimization.
+//
+// Expected output: one φ3 violation (Downey has fewer people than Corona
+// but a better rank — the real DBpedia error the paper opens with); then
+// the Example 5 verdicts ({φ5} and {φ6} each satisfiable, {φ5, φ6} not)
+// and an implication check showing a redundant drift bound can be dropped.
 package main
 
 import (

@@ -3,6 +3,12 @@
 // generated with the invariant female + male = total population; a few
 // regions are corrupted. Two NGDs — the φ2 sum rule and an Exp-5-style
 // "living people" categorization rule — catch every seeded error.
+//
+// Expected output: every seeded error caught, e.g.
+//
+//	seeded 11 census errors + 1 categorization error
+//	caught: 11 population-sum violations, 1 living-people violations
+//	  suspicious living person: John Macpherson
 package main
 
 import (

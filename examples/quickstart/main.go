@@ -2,6 +2,12 @@
 // Yago records that BBC Trust was created in 2007 but destroyed in 1946.
 // The NGD φ1 = Q1[x,y,z](∅ → z.val − y.val ≥ 365) states that an entity
 // cannot be destroyed within a year of its creation.
+//
+// It demonstrates the smallest possible pipeline: build a graph, parse one
+// rule from the DSL, Validate, then Detect. Expected output:
+//
+//	found 1 violation(s):
+//	  rule phi1: entity "BBC_Trust" destroyed before it was created
 package main
 
 import (

@@ -7,6 +7,13 @@
 // streams a batch update ΔG (the deletion from Example 6 plus fresh
 // accounts as in Example 7) through IncDetect and PIncDetect, showing
 // ΔVio⁺/ΔVio⁻ instead of recomputation.
+//
+// φ4's precondition s1.val = 1 is the constant-literal shape the matcher
+// compiles into an attribute-index candidate filter (§6.2 step (3), see
+// DESIGN.md §3), so this example also exercises the pruned matching path.
+// Expected output: six seeded "-helpdesk" fakes flagged by the batch run;
+// after ΔG, one violation removed (status evidence deleted) and one added,
+// with PIncDetect (p=8) agreeing and reporting its simulated makespan.
 package main
 
 import (

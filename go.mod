@@ -1,0 +1,3 @@
+module ngd
+
+go 1.24

@@ -20,18 +20,57 @@ import (
 type Options struct {
 	// Limit stops after this many violations (0 = unlimited).
 	Limit int
+	// NoPruning disables index-backed candidate pruning (§6.2 step (3)),
+	// falling back to full label-bucket scans. Pruning never changes the
+	// violation set — the toggle exists for differential tests and for
+	// measuring the pruning speedup.
+	NoPruning bool
+}
+
+// filterLit records that X-literal lit was compiled into a candidate
+// predicate on pattern node node (so LitEval can avoid re-evaluating it
+// when the node's candidates were already filter-checked).
+type filterLit struct {
+	lit, node int
 }
 
 // Compiled bundles a rule with its pattern compiled against a graph's
-// symbols and a literal evaluation schedule for a particular plan.
+// symbols, plus the candidate filters derived from its precondition
+// literals (nil when no X-literal has the single-node constant shape).
 type Compiled struct {
-	Rule *core.NGD
-	CP   *pattern.Compiled
+	Rule       *core.NGD
+	CP         *pattern.Compiled
+	Filters    match.Filters
+	filterLits []filterLit
 }
 
-// CompileRule resolves the rule's pattern against syms.
+// CompileRule resolves the rule's pattern against syms and compiles the
+// rule's X-literals into per-pattern-node candidate predicates. Only
+// precondition literals prune: a candidate falsifying one can never
+// satisfy X, whereas a falsified consequence literal is exactly what a
+// violation needs.
 func CompileRule(r *core.NGD, syms *graph.Symbols) *Compiled {
-	return &Compiled{Rule: r, CP: pattern.Compile(r.Pattern, syms)}
+	c := &Compiled{Rule: r, CP: pattern.Compile(r.Pattern, syms)}
+	f := match.NewFilters(len(r.Pattern.Nodes))
+	for i, l := range r.X {
+		if node := f.AddLiteral(r.Pattern, syms, l.L, l.Op, l.R); node >= 0 {
+			c.filterLits = append(c.filterLits, filterLit{lit: i, node: node})
+		}
+	}
+	if len(c.filterLits) > 0 {
+		c.Filters = f
+	}
+	return c
+}
+
+// BuildPlan constructs the matching plan for the rule over g: the pruned,
+// index-seeded plan by default, or the bare label-count plan when pruning
+// is disabled.
+func (c *Compiled) BuildPlan(g graph.View, bound []int, noPruning bool) *match.Plan {
+	if noPruning {
+		return match.BuildPlan(c.CP, bound, match.GraphSelectivity(g, c.CP))
+	}
+	return match.BuildPrunedPlan(g, c.CP, bound, c.Filters)
 }
 
 // litSchedule assigns each literal to the earliest plan step at which all of
@@ -41,7 +80,10 @@ type litSchedule struct {
 	yAt [][]int
 }
 
-func buildSchedule(rule *core.NGD, plan *match.Plan) litSchedule {
+// buildSchedule places literals at their earliest evaluable level. skipX
+// marks X-literal indices to leave out entirely — those already enforced
+// per candidate by the plan's filters (see NewLitEval).
+func buildSchedule(rule *core.NGD, plan *match.Plan, skipX []bool) litSchedule {
 	n := len(plan.Steps)
 	sched := litSchedule{
 		xAt: make([][]int, n+1),
@@ -54,8 +96,11 @@ func buildSchedule(rule *core.NGD, plan *match.Plan) litSchedule {
 	for k, st := range plan.Steps {
 		bound[st.Node] = k + 1
 	}
-	place := func(lits []core.Literal, at [][]int) {
+	place := func(lits []core.Literal, at [][]int, skip []bool) {
 		for i, l := range lits {
+			if skip != nil && skip[i] {
+				continue
+			}
 			latest := 0
 			for _, v := range l.Vars() {
 				idx := rule.Pattern.VarIndex(v)
@@ -66,8 +111,8 @@ func buildSchedule(rule *core.NGD, plan *match.Plan) litSchedule {
 			at[latest] = append(at[latest], i)
 		}
 	}
-	place(rule.X, sched.xAt)
-	place(rule.Y, sched.yAt)
+	place(rule.X, sched.xAt, skipX)
+	place(rule.Y, sched.yAt, nil)
 	return sched
 }
 
@@ -138,7 +183,7 @@ func Dect(g graph.View, rules *core.Set, opts Options) *Result {
 	res := &Result{}
 	for _, r := range rules.Rules {
 		c := CompileRule(r, g.Symbols())
-		plan := match.BuildPlan(c.CP, nil, match.GraphSelectivity(g, c.CP))
+		plan := c.BuildPlan(g, nil, opts.NoPruning)
 		s := NewSearcher(g, c, plan)
 		partial := match.NewPartial(len(r.Pattern.Nodes))
 		stat := s.Run(partial, func(m core.Match) bool {

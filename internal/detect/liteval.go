@@ -22,8 +22,32 @@ type LitEval struct {
 }
 
 // NewLitEval builds the evaluation schedule of rule c along plan.
+//
+// X-literals that were compiled into the plan's candidate filters are
+// dropped from the schedule when their pattern node is bound by a plan
+// step: the matcher already checks the predicate on every candidate it
+// generates for that node, so re-evaluating the literal would double the
+// work on exactly the hot path pruning targets. Literals on *pre-bound*
+// nodes (update pivots) stay scheduled at level 0 — pivots never pass
+// through candidate generation.
 func NewLitEval(g graph.View, c *Compiled, plan *match.Plan) *LitEval {
-	return &LitEval{Rule: c.Rule, G: g, sched: buildSchedule(c.Rule, plan)}
+	var skipX []bool
+	if plan.Filters != nil && len(c.filterLits) > 0 {
+		skipX = make([]bool, len(c.Rule.X))
+		for _, fl := range c.filterLits {
+			preBound := false
+			for _, b := range plan.Bound {
+				if b == fl.node {
+					preBound = true
+					break
+				}
+			}
+			if !preBound {
+				skipX[fl.lit] = true
+			}
+		}
+	}
+	return &LitEval{Rule: c.Rule, G: g, sched: buildSchedule(c.Rule, plan, skipX)}
 }
 
 // NumY reports |Y|; a match violates iff ySat < NumY at completion.

@@ -1,0 +1,204 @@
+// Differential tests for index-backed candidate pruning (§6.2 step (3)):
+// with pruning on and off, every detector — Dect, IncDect, PDect, PIncDect —
+// must produce byte-identical violation sets, and pruning must not scan
+// more candidates than the unpruned baseline.
+package detect_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"ngd/internal/core"
+	"ngd/internal/detect"
+	"ngd/internal/expr"
+	"ngd/internal/gen"
+	"ngd/internal/graph"
+	"ngd/internal/inc"
+	"ngd/internal/par"
+	"ngd/internal/pattern"
+	"ngd/internal/update"
+)
+
+// keyLines canonicalizes a violation list to sorted newline-joined keys, so
+// equality really is byte-identity of the violation sets.
+func keyLines(vs []core.Violation) string {
+	keys := make([]string, len(vs))
+	for i, v := range vs {
+		keys[i] = v.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// rangeRule exercises the ordered index: f.val >= 1 ⇒ c.val = 7 over the
+// generator's flag/p2 property stars of untyped entities (flag values are
+// 0/1, so this is the wildcard FlagRule invariant phrased as a range
+// precondition).
+func rangeRule() *core.NGD {
+	q := pattern.New()
+	x := q.AddNode("x", "_")
+	f := q.AddNode("f", "integer")
+	c := q.AddNode("c", "integer")
+	q.AddEdge(x, f, "flag")
+	q.AddEdge(x, c, "p2")
+	return core.MustNew("range-flag", q,
+		[]core.Literal{core.Lit(expr.V("f", "val"), expr.Ge, expr.C(1))},
+		[]core.Literal{core.Lit(expr.V("c", "val"), expr.Eq, expr.C(7))},
+	)
+}
+
+func testWorkloads(tb testing.TB) []struct {
+	name  string
+	ds    *gen.Dataset
+	rules *core.Set
+} {
+	tb.Helper()
+	var out []struct {
+		name  string
+		ds    *gen.Dataset
+		rules *core.Set
+	}
+	// A raised error rate keeps the differential non-vacuous at test scale;
+	// EffectivenessRules covers every entity type so each injected error is
+	// catchable (the Exp-5 configuration).
+	for _, p := range []gen.Profile{gen.YAGO2, gen.Pokec} {
+		p.ErrorRate = 0.25
+		ds := gen.Generate(p, 150, 7)
+		var rules *core.Set
+		if p.Name == "yago2" {
+			rules = gen.EffectivenessRules(p)
+		} else {
+			rules = gen.Rules(p, gen.RuleConfig{Count: 14, MaxDiameter: 5, Seed: 7})
+		}
+		rules.Add(rangeRule(), gen.WildFlagRule(0))
+		out = append(out, struct {
+			name  string
+			ds    *gen.Dataset
+			rules *core.Set
+		}{p.Name, ds, rules})
+	}
+	return out
+}
+
+func TestPruningDifferentialDect(t *testing.T) {
+	for _, w := range testWorkloads(t) {
+		t.Run(w.name, func(t *testing.T) {
+			pruned := detect.Dect(w.ds.G, w.rules, detect.Options{})
+			plain := detect.Dect(w.ds.G, w.rules, detect.Options{NoPruning: true})
+			if got, want := keyLines(pruned.Violations), keyLines(plain.Violations); got != want {
+				t.Fatalf("violation sets differ:\npruned:\n%s\nunpruned:\n%s", got, want)
+			}
+			if len(plain.Violations) == 0 {
+				t.Fatal("workload produced no violations; differential test is vacuous")
+			}
+			if pruned.Counters.Candidates >= plain.Counters.Candidates {
+				t.Fatalf("pruning scanned %d candidates, unpruned %d — no pruning happened",
+					pruned.Counters.Candidates, plain.Counters.Candidates)
+			}
+			t.Logf("candidates scanned: pruned %d vs unpruned %d (%.1fx)",
+				pruned.Counters.Candidates, plain.Counters.Candidates,
+				float64(plain.Counters.Candidates)/float64(pruned.Counters.Candidates))
+		})
+	}
+}
+
+func TestPruningDifferentialIncDect(t *testing.T) {
+	for _, w := range testWorkloads(t) {
+		t.Run(w.name, func(t *testing.T) {
+			d := update.Random(w.ds, update.Config{
+				Size: update.SizeFor(w.ds.G, 0.2), Gamma: 1, Seed: 99})
+			pruned := inc.IncDect(w.ds.G, w.rules, d, inc.Options{})
+			plain := inc.IncDect(w.ds.G, w.rules, d, inc.Options{NoPruning: true})
+			if got, want := keyLines(pruned.Plus), keyLines(plain.Plus); got != want {
+				t.Fatalf("ΔVio⁺ differs:\npruned:\n%s\nunpruned:\n%s", got, want)
+			}
+			if got, want := keyLines(pruned.Minus), keyLines(plain.Minus); got != want {
+				t.Fatalf("ΔVio⁻ differs:\npruned:\n%s\nunpruned:\n%s", got, want)
+			}
+			// and both agree with the recompute-from-scratch oracle
+			oracle := inc.Diff(w.ds.G, w.rules, d)
+			if keyLines(pruned.Plus) != keyLines(oracle.Plus) ||
+				keyLines(pruned.Minus) != keyLines(oracle.Minus) {
+				t.Fatal("pruned IncDect disagrees with the Diff oracle")
+			}
+			if pruned.Counters.Candidates > plain.Counters.Candidates {
+				t.Fatalf("pruned IncDect scanned more candidates (%d) than unpruned (%d)",
+					pruned.Counters.Candidates, plain.Counters.Candidates)
+			}
+		})
+	}
+}
+
+func TestPruningDifferentialParallel(t *testing.T) {
+	for _, w := range testWorkloads(t) {
+		t.Run(w.name, func(t *testing.T) {
+			baseline := detect.Dect(w.ds.G, w.rules, detect.Options{NoPruning: true})
+			want := keyLines(baseline.Violations)
+
+			pruned := par.PDect(w.ds.G, w.rules, par.Hybrid(4))
+			if keyLines(pruned.Violations) != want {
+				t.Fatal("pruned PDect disagrees with unpruned Dect")
+			}
+			off := par.Hybrid(4)
+			off.NoPruning = true
+			plain := par.PDect(w.ds.G, w.rules, off)
+			if keyLines(plain.Violations) != want {
+				t.Fatal("unpruned PDect disagrees with unpruned Dect")
+			}
+
+			d := update.Random(w.ds, update.Config{
+				Size: update.SizeFor(w.ds.G, 0.2), Gamma: 1, Seed: 99})
+			incBase := inc.IncDect(w.ds.G, w.rules, d, inc.Options{NoPruning: true})
+			pinc := par.PIncDect(w.ds.G, w.rules, d, par.Hybrid(4))
+			if keyLines(pinc.Delta.Plus) != keyLines(incBase.Plus) ||
+				keyLines(pinc.Delta.Minus) != keyLines(incBase.Minus) {
+				t.Fatal("pruned PIncDect disagrees with unpruned IncDect")
+			}
+			// the goroutine driver shares the same pruned matcher paths
+			real := par.Hybrid(4)
+			real.Real = true
+			preal := par.PIncDect(w.ds.G, w.rules, d, real)
+			if keyLines(preal.Delta.Plus) != keyLines(incBase.Plus) ||
+				keyLines(preal.Delta.Minus) != keyLines(incBase.Minus) {
+				t.Fatal("pruned PIncDect (goroutine driver) disagrees with unpruned IncDect")
+			}
+		})
+	}
+}
+
+// TestPruningAfterDeltaApply proves the indexes built during a detection run
+// stay in sync through Delta.Apply (edge churn) and SetAttr (value churn):
+// re-running both modes on the mutated graph must still agree.
+func TestPruningAfterDeltaApply(t *testing.T) {
+	w := testWorkloads(t)[0]
+	g := w.ds.G
+
+	// first detection run builds the attribute indexes
+	before := detect.Dect(g, w.rules, detect.Options{})
+	if len(before.Violations) == 0 {
+		t.Fatal("vacuous workload")
+	}
+
+	// churn: apply an edge delta and rewrite attribute values under the
+	// live indexes (flag flips change equality postings, score writes move
+	// ordered-index entries)
+	d := update.Random(w.ds, update.Config{Size: update.SizeFor(g, 0.25), Gamma: 1, Seed: 5})
+	d.Normalize(g).Apply(g)
+	val := g.Symbols().LookupAttr("val")
+	for i, props := range w.ds.PropNode {
+		if i%3 == 0 {
+			g.SetAttrA(props[6], val, graph.Int(int64(i%2)))
+		}
+		if i%4 == 0 {
+			g.SetAttrA(props[2], val, graph.Int(int64(7+i%3)))
+		}
+	}
+
+	pruned := detect.Dect(g, w.rules, detect.Options{})
+	plain := detect.Dect(g, w.rules, detect.Options{NoPruning: true})
+	if got, want := keyLines(pruned.Violations), keyLines(plain.Violations); got != want {
+		t.Fatalf("after delta+attr churn, violation sets differ:\npruned:\n%s\nunpruned:\n%s",
+			got, want)
+	}
+}

@@ -1,0 +1,60 @@
+package expr
+
+import (
+	"math/big"
+
+	"ngd/internal/graph"
+)
+
+// This file supports the literal-based candidate pruning of §6.2 step (3):
+// a precondition literal of the shape x.A ⊗ e, with e variable-free, is
+// compiled down to (attribute, ⊗, constant) and checked per candidate node
+// with CompareValue — which must agree exactly with Compare so pruning
+// never changes the violation set.
+
+// noBinding resolves nothing: evaluating a term under it errors, which is
+// how ConstValue rejects expressions that mention variables.
+func noBinding(string, string) (graph.Value, bool) { return graph.Value{}, false }
+
+// ConstValue evaluates a variable-free expression to a constant operand.
+// ok=false when the expression mentions a variable or fails to evaluate
+// (e.g. division by zero).
+func ConstValue(e *Expr) (Result, bool) {
+	r, err := Eval(e, noBinding)
+	if err != nil {
+		return Result{}, false
+	}
+	return r, true
+}
+
+// CompareValue reports whether v ⊗ c holds for an attribute value v and a
+// pre-evaluated constant operand c, with exactly the semantics of Compare
+// on a term literal: evaluation errors (absent attribute, non-integral
+// float, string/number mixing, ordered string comparison) make the literal
+// unsatisfied, i.e. return false.
+func CompareValue(v graph.Value, op Cmp, c Result) bool {
+	r, err := valueOperand(v)
+	if err != nil {
+		return false
+	}
+	if r.IsStr || c.IsStr {
+		if !r.IsStr || !c.IsStr {
+			return false
+		}
+		switch op {
+		case Eq:
+			return r.S == c.S
+		case Ne:
+			return r.S != c.S
+		default:
+			return false
+		}
+	}
+	sign, cerr := r.N.Cmp(c.N)
+	if cerr != nil {
+		a := new(big.Rat).SetFrac64(r.N.n, r.N.d)
+		b := new(big.Rat).SetFrac64(c.N.n, c.N.d)
+		sign = a.Cmp(b)
+	}
+	return op.holds(sign)
+}

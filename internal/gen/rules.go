@@ -111,6 +111,24 @@ func FlagRule(t, id int) *core.NGD {
 	)
 }
 
+// WildFlagRule is FlagRule with an untyped entity: flag=1 ⇒ p2=7 over
+// *every* entity regardless of label. Without an attribute index its best
+// seed is the full "integer" property population; with the index the seed
+// shrinks to the nodes whose value equals 1 — the workload that makes the
+// literal-based candidate pruning of §6.2 step (3) measurable.
+func WildFlagRule(id int) *core.NGD {
+	q := pattern.New()
+	x := q.AddNode("x", "_")
+	f := q.AddNode("f", "integer")
+	c := q.AddNode("c", "integer")
+	q.AddEdge(x, f, "flag")
+	q.AddEdge(x, c, "p2")
+	return core.MustNew(fmt.Sprintf("wildflag-%d", id), q,
+		[]core.Literal{core.Lit(expr.V("f", "val"), expr.Eq, expr.C(1))},
+		[]core.Literal{core.Lit(expr.V("c", "val"), expr.Eq, expr.C(7))},
+	)
+}
+
 // DriftChainRule bounds score drift along a backbone path of hops relation
 // edges: |p0(x0) − p0(xL)| ≤ L·MaxDrift (path pattern, diameter hops+2,
 // wildcard interior nodes, |·| arithmetic).

@@ -125,6 +125,9 @@ type Graph struct {
 	in        [][]Half
 	edgeCount int
 	byLabel   map[LabelID][]NodeID
+	// attrIdx holds the attribute value indexes built by EnsureAttrIndex
+	// (candidate pruning, §6.2 step (3)); SetAttrA keeps them in sync.
+	attrIdx map[attrIndexKey]*AttrIndex
 }
 
 // New returns an empty graph with a fresh symbol table.
@@ -171,11 +174,20 @@ func (g *Graph) SetAttr(v NodeID, name string, val Value) {
 	g.SetAttrA(v, g.syms.Attr(name), val)
 }
 
-// SetAttrA sets an attribute by interned id.
+// SetAttrA sets an attribute by interned id, updating any attribute index
+// covering (label(v), a).
 func (g *Graph) SetAttrA(v NodeID, a AttrID, val Value) {
 	nd := &g.nodes[v]
 	if nd.attrs == nil {
 		nd.attrs = make(map[AttrID]Value, 4)
+	}
+	if ix := g.attrIdx[attrIndexKey{nd.label, a}]; ix != nil {
+		if old := nd.attrs[a]; old.Valid() {
+			ix.remove(v, old)
+		}
+		if val.Valid() {
+			ix.add(v, val)
+		}
 	}
 	nd.attrs[a] = val
 }
@@ -356,7 +368,8 @@ func (g *Graph) InducedEdges(set map[NodeID]struct{}, fn func(u, v NodeID, l Lab
 	}
 }
 
-// Clone returns a deep copy sharing the symbol table.
+// Clone returns a deep copy sharing the symbol table. Attribute indexes are
+// not copied; the clone rebuilds them on the next EnsureAttrIndex.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		syms:      g.syms,

@@ -54,6 +54,9 @@ type pivot struct {
 type Options struct {
 	// Limit stops after this many violations per side (0 = unlimited).
 	Limit int
+	// NoPruning disables index-backed candidate pruning (see
+	// detect.Options.NoPruning).
+	NoPruning bool
 }
 
 // IncDect computes ΔVio(Σ, G, ΔG). g is the *pre-update* graph; ΔG is
@@ -92,8 +95,9 @@ func (res *Result) search(v graph.View, c *detect.Compiled, ops []graph.EdgeOp,
 	idx map[edgeKey]int, plus bool, opts Options) {
 
 	nPat := len(c.Rule.Pattern.Nodes)
-	planCache := make(map[int]*match.Plan) // per pattern-edge slot
-	sel := match.GraphSelectivity(v, c.CP)
+	// One searcher per pattern-edge slot: the plan and literal schedule are
+	// pivot-independent, and a Searcher is sequentially reusable across Runs.
+	searchers := make(map[int]*detect.Searcher)
 
 	for rank, op := range ops {
 		for slot, pe := range c.Rule.Pattern.Edges {
@@ -109,17 +113,16 @@ func (res *Result) search(v graph.View, c *detect.Compiled, ops []graph.EdgeOp,
 			if !match.VerifyBound(v, c.CP, partial) {
 				continue
 			}
-			plan, ok := planCache[slot]
+			s, ok := searchers[slot]
 			if !ok {
 				bound := []int{pe.Src}
 				if pe.Dst != pe.Src {
 					bound = append(bound, pe.Dst)
 				}
-				plan = match.BuildPlan(c.CP, bound, sel)
-				planCache[slot] = plan
+				s = detect.NewSearcher(v, c, c.BuildPlan(v, bound, opts.NoPruning))
+				searchers[slot] = s
 			}
 			res.Pivots++
-			s := detect.NewSearcher(v, c, plan)
 			pv := pivot{rank: rank, slot: slot}
 			stat := s.Run(partial, func(m core.Match) bool {
 				if !smallestPivot(v, c, m, idx, pv) {

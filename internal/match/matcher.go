@@ -79,6 +79,9 @@ func (m *Matcher) Run(partial []graph.NodeID, emit func([]graph.NodeID) bool) {
 func (m *Matcher) CandidateCount(k int, partial []graph.NodeID) int {
 	st := &m.Plan.Steps[k]
 	if st.AnchorEdge < 0 {
+		if run, ok := m.seedIndexRun(st); ok {
+			return run.Len()
+		}
 		l := m.CP.NodeLabels[st.Node]
 		if l == graph.NoLabel {
 			return 0
@@ -111,6 +114,19 @@ func (m *Matcher) CandidatesRange(k int, partial []graph.NodeID, lo, hi int, yie
 		return yield(v)
 	}
 	if st.AnchorEdge < 0 {
+		if run, ok := m.seedIndexRun(st); ok {
+			n := run.Len()
+			if hi < 0 || hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				v := run.At(i)
+				if !emit(v, m.filterOK(st.Node, v)) {
+					return scanned
+				}
+			}
+			return scanned
+		}
 		l := m.CP.NodeLabels[st.Node]
 		if l == graph.NoLabel {
 			return 0
@@ -121,7 +137,7 @@ func (m *Matcher) CandidatesRange(k int, partial []graph.NodeID, lo, hi int, yie
 				hi = n
 			}
 			for v := lo; v < hi; v++ {
-				if !emit(graph.NodeID(v), true) {
+				if !emit(graph.NodeID(v), m.filterOK(st.Node, graph.NodeID(v))) {
 					return scanned
 				}
 			}
@@ -132,7 +148,7 @@ func (m *Matcher) CandidatesRange(k int, partial []graph.NodeID, lo, hi int, yie
 			hi = len(cands)
 		}
 		for _, v := range cands[lo:hi] {
-			if !emit(v, true) {
+			if !emit(v, m.filterOK(st.Node, v)) {
 				return scanned
 			}
 		}
@@ -158,11 +174,37 @@ func (m *Matcher) CandidatesRange(k int, partial []graph.NodeID, lo, hi int, yie
 	}
 	nl := m.CP.NodeLabels[st.Node]
 	for _, h := range run[lo:hi] {
-		if !emit(h.To, nl == graph.Wildcard || m.G.Label(h.To) == nl) {
+		ok := (nl == graph.Wildcard || m.G.Label(h.To) == nl) && m.filterOK(st.Node, h.To)
+		if !emit(h.To, ok) {
 			return scanned
 		}
 	}
 	return scanned
+}
+
+// seedIndexRun resolves the attribute-index candidate run of a seed step
+// chosen by BuildPrunedPlan, if any.
+func (m *Matcher) seedIndexRun(st *Step) (graph.IndexRun, bool) {
+	if st.SeedPred < 0 || m.Plan.Filters == nil {
+		return graph.IndexRun{}, false
+	}
+	return seedRun(m.G, m.CP, st.Node, &m.Plan.Filters[st.Node].Preds[st.SeedPred])
+}
+
+// filterOK applies the compiled candidate predicates of a pattern node to
+// candidate v (§6.2 step (3)): a candidate falsifying a precondition
+// literal can never yield a violation and is pruned before recursion.
+func (m *Matcher) filterOK(node int, v graph.NodeID) bool {
+	if m.Plan.Filters == nil {
+		return true
+	}
+	preds := m.Plan.Filters[node].Preds
+	for i := range preds {
+		if !preds[i].Holds(m.G, v) {
+			return false
+		}
+	}
+	return true
 }
 
 // Candidates yields the candidate nodes for step k given the current

@@ -29,11 +29,16 @@ type Step struct {
 	Node int // pattern node to bind
 	// Candidate generation: when AnchorEdge >= 0 candidates come from the
 	// adjacency of the bound node AnchorFrom along that edge; otherwise the
-	// step is a seed and candidates come from the label index.
+	// step is a seed and candidates come from the label index — or, when
+	// SeedPred >= 0, from the attribute index run of that filter predicate.
 	AnchorEdge int
 	AnchorOut  bool // true: candidates = Out(h(AnchorFrom)); false: In(...)
 	AnchorFrom int
-	Checks     []EdgeCheck
+	// SeedPred indexes Plan.Filters[Node].Preds: the predicate whose
+	// attribute-index run seeds this step (-1: scan the label bucket).
+	// Only meaningful for seed steps (AnchorEdge < 0).
+	SeedPred int
+	Checks   []EdgeCheck
 }
 
 // Plan is a matching order for (the unbound part of) a compiled pattern.
@@ -41,6 +46,9 @@ type Plan struct {
 	CP    *pattern.Compiled
 	Bound []int  // pre-bound pattern nodes (update pivots), may be empty
 	Steps []Step // one per remaining pattern node
+	// Filters holds the compiled candidate predicates per pattern node
+	// (§6.2 step (3)); nil disables literal-based pruning.
+	Filters Filters
 }
 
 // Selectivity estimates candidate counts per pattern node; BuildPlan uses it
@@ -112,7 +120,7 @@ func BuildPlan(cp *pattern.Compiled, bound []int, sel Selectivity) *Plan {
 				best, bestEdges, bestSel = i, cnt, s
 			}
 		}
-		step := Step{Node: best, AnchorEdge: -1}
+		step := Step{Node: best, AnchorEdge: -1, SeedPred: -1}
 		// collect checks and pick an anchor among edges into the bound set
 		for _, ei := range incident[best] {
 			e := cp.Src.Edges[ei]
@@ -140,6 +148,43 @@ func BuildPlan(cp *pattern.Compiled, bound []int, sel Selectivity) *Plan {
 		plan.Steps = append(plan.Steps, step)
 		isBound[best] = true
 		remaining--
+	}
+	return plan
+}
+
+// BuildPrunedPlan is BuildPlan with literal-based candidate pruning wired
+// in (§6.2 step (3)): it builds the attribute indexes the filters can use
+// over g, orders the plan by index-aware selectivity instead of bare label
+// counts, attaches the filters for residual per-candidate checks, and picks
+// the most selective index run to seed each component. A nil or empty
+// filter set degrades to the plain label-count plan.
+//
+// Index construction mutates g's underlying graph, so BuildPrunedPlan must
+// run during single-threaded setup — before matchers start (the parallel
+// drivers build all plans up front).
+func BuildPrunedPlan(g graph.View, cp *pattern.Compiled, bound []int, f Filters) *Plan {
+	if f != nil && f.Empty() {
+		f = nil
+	}
+	if f == nil {
+		return BuildPlan(cp, bound, GraphSelectivity(g, cp))
+	}
+	// A pivot-anchored plan over a connected pattern has no seed steps —
+	// every step anchors on an edge into the bound set — so index setup
+	// would buy nothing; the filters still apply as residual checks.
+	if len(bound) > 0 && cp.Src.Connected() {
+		plan := BuildPlan(cp, bound, GraphSelectivity(g, cp))
+		plan.Filters = f
+		return plan
+	}
+	EnsureIndexes(g, cp, f)
+	plan := BuildPlan(cp, bound, IndexSelectivity(g, cp, f))
+	plan.Filters = f
+	for k := range plan.Steps {
+		st := &plan.Steps[k]
+		if st.AnchorEdge < 0 {
+			st.SeedPred = bestSeedPred(g, cp, st.Node, f)
+		}
 	}
 	return plan
 }

@@ -58,6 +58,9 @@ type Options struct {
 	Balance bool
 	// Real runs the goroutine driver instead of the virtual-time one.
 	Real bool
+	// NoPruning disables index-backed candidate pruning (see
+	// detect.Options.NoPruning).
+	NoPruning bool
 	// Limit stops after this many violations in total (0 = unlimited;
 	// the limit is approximate under the goroutine driver).
 	Limit int

@@ -17,7 +17,7 @@ func PDect(g graph.View, rules *core.Set, opts Options) *Result {
 	var tasks []task
 	for _, r := range rules.Rules {
 		c := detect.CompileRule(r, g.Symbols())
-		plan := match.BuildPlan(c.CP, nil, match.GraphSelectivity(g, c.CP))
+		plan := c.BuildPlan(g, nil, opts.NoPruning)
 		tasks = append(tasks, task{
 			c: c, view: g, plan: plan,
 			le: detect.NewLitEval(g, c, plan),
@@ -123,7 +123,7 @@ func PIncDect(g *graph.Graph, rules *core.Set, delta *graph.Delta, opts Options)
 		if pe.Dst != pe.Src {
 			bound = append(bound, pe.Dst)
 		}
-		plan := match.BuildPlan(c.CP, bound, match.GraphSelectivity(view, c.CP))
+		plan := c.BuildPlan(view, bound, opts.NoPruning)
 		tasks = append(tasks, task{
 			c: c, view: view, plan: plan,
 			le:   detect.NewLitEval(view, c, plan),
