@@ -88,13 +88,69 @@ func (d *Delta) Normalize(base *Graph) *Delta {
 
 // Apply mutates g in place, turning it into g ⊕ ΔG.
 func (d *Delta) Apply(g *Graph) {
+	g.Apply(d)
+}
+
+// ApplyStats reports what (*Graph).Apply committed.
+type ApplyStats struct {
+	Inserted  int // edges actually added
+	Deleted   int // edges actually removed
+	NoOps     int // ops without effect (re-insert of an existing edge, delete of a missing one)
+	Compacted int // adjacency lists reallocated to shed slack capacity
+}
+
+// Apply commits ΔG into g in place: g becomes g ⊕ ΔG. Ops apply in order,
+// so an un-normalized delta commits to the same graph as its Normalize(g)
+// form (ineffective ops are counted as NoOps rather than erroring).
+// Adjacency lists of touched nodes are compacted when the churn leaves
+// excess backing capacity, so a long-lived graph under a steady
+// insert/delete stream does not accrete slack.
+//
+// Attribute indexes need no maintenance here: ΔG carries edge ops only,
+// and node/attribute arrivals are indexed at SetAttrA time, so every index
+// built by EnsureAttrIndex stays identical to a fresh rebuild.
+func (g *Graph) Apply(d *Delta) ApplyStats {
+	var st ApplyStats
+	touched := make(map[NodeID]struct{}, len(d.Ops)*2)
 	for _, op := range d.Ops {
+		var effective bool
 		if op.Insert {
-			g.AddEdgeL(op.Src, op.Dst, op.Label)
+			effective = g.AddEdgeL(op.Src, op.Dst, op.Label)
+			if effective {
+				st.Inserted++
+			}
 		} else {
-			g.DeleteEdgeL(op.Src, op.Dst, op.Label)
+			effective = g.DeleteEdgeL(op.Src, op.Dst, op.Label)
+			if effective {
+				st.Deleted++
+			}
+		}
+		if effective {
+			touched[op.Src] = struct{}{}
+			touched[op.Dst] = struct{}{}
+		} else {
+			st.NoOps++
 		}
 	}
+	for v := range touched {
+		var c bool
+		if g.out[v], c = compactHalves(g.out[v]); c {
+			st.Compacted++
+		}
+		if g.in[v], c = compactHalves(g.in[v]); c {
+			st.Compacted++
+		}
+	}
+	return st
+}
+
+// compactHalves reallocates an adjacency list whose backing array is at
+// least twice (and ≥ 8 entries beyond) its length.
+func compactHalves(l []Half) ([]Half, bool) {
+	if cap(l)-len(l) < 8 || cap(l) < 2*len(l) {
+		return l, false
+	}
+	return append(make([]Half, 0, len(l)), l...), true
 }
 
 // Inverse returns the ΔG that undoes d (valid for normalized deltas).

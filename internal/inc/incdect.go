@@ -57,6 +57,11 @@ type Options struct {
 	// NoPruning disables index-backed candidate pruning (see
 	// detect.Options.NoPruning).
 	NoPruning bool
+	// AssumeNormalized skips the internal Normalize pass: the caller
+	// guarantees ΔG already has the normalized shape (ΔG⁺ disjoint from G,
+	// ΔG⁻ ⊆ G, ΔG⁺ ∩ ΔG⁻ = ∅, one op per edge). The session commit path
+	// coalesces each batch once and sets this to avoid a second pass.
+	AssumeNormalized bool
 }
 
 // IncDect computes ΔVio(Σ, G, ΔG). g is the *pre-update* graph; ΔG is
@@ -64,7 +69,10 @@ type Options struct {
 // and ΔG⁻ only existing ones). g is not mutated: the caller decides when to
 // Apply the delta.
 func IncDect(g *graph.Graph, rules *core.Set, delta *graph.Delta, opts Options) *Result {
-	norm := delta.Normalize(g)
+	norm := delta
+	if !opts.AssumeNormalized {
+		norm = delta.Normalize(g)
+	}
 	newView := graph.NewOverlay(g, norm)
 	res := &Result{}
 

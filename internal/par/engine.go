@@ -61,6 +61,9 @@ type Options struct {
 	// NoPruning disables index-backed candidate pruning (see
 	// detect.Options.NoPruning).
 	NoPruning bool
+	// AssumeNormalized skips PIncDect's internal Normalize pass; the caller
+	// guarantees ΔG already has the normalized shape (see inc.Options).
+	AssumeNormalized bool
 	// Limit stops after this many violations in total (0 = unlimited;
 	// the limit is approximate under the goroutine driver).
 	Limit int

@@ -82,7 +82,10 @@ func PDect(g graph.View, rules *core.Set, opts Options) *Result {
 // its construction and replication cost charged to all workers.
 func PIncDect(g *graph.Graph, rules *core.Set, delta *graph.Delta, opts Options) *Result {
 	opts = opts.Defaults()
-	norm := delta.Normalize(g)
+	norm := delta
+	if !opts.AssumeNormalized {
+		norm = delta.Normalize(g)
+	}
 	newView := graph.NewOverlay(g, norm)
 	ins := norm.Insertions()
 	del := norm.Deletions()

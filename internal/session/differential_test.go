@@ -1,0 +1,240 @@
+package session_test
+
+// Cross-detector differential fuzz suite: for dozens of seeded
+// (Profile, Σ, ΔG-stream) workloads, after every committed batch the
+// session's live store must be byte-identical to
+//
+//   - Dect(Σ, G)  from scratch on the committed graph (ground truth),
+//   - PDect(Σ, G) on the committed graph,
+//   - the previous store reconciled with IncDect's  ΔVio⁺/ΔVio⁻,
+//   - the previous store reconciled with PIncDect's ΔVio⁺/ΔVio⁻,
+//
+// with candidate pruning both on and off, sequential and parallel session
+// routing, uniform and burst-skewed streams. Failures log the workload
+// (profile, seed, batch) so any counterexample reproduces from its seeds.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"ngd/internal/core"
+	"ngd/internal/detect"
+	"ngd/internal/gen"
+	"ngd/internal/inc"
+	"ngd/internal/par"
+	"ngd/internal/session"
+	"ngd/internal/update"
+)
+
+// diffWorkload seeds one continuous-detection scenario.
+type diffWorkload struct {
+	profile   gen.Profile
+	entities  int
+	rules     int
+	seed      int64
+	batches   int
+	batchFrac float64
+	gamma     float64 // 0 = 1 (paper default)
+	hotspot   float64 // 0 = generator default (burst-skewed); -1 = uniform
+	noPruning bool
+	parallel  bool // session routes through PIncDect
+	nodeRule  bool // append an edge-less rule (per-node absorption path)
+}
+
+func (w diffWorkload) name() string {
+	var tags []string
+	if w.noPruning {
+		tags = append(tags, "noprune")
+	}
+	if w.parallel {
+		tags = append(tags, "par")
+	}
+	if w.nodeRule {
+		tags = append(tags, "noderule")
+	}
+	if w.hotspot < 0 {
+		tags = append(tags, "uniform")
+	}
+	if w.gamma != 0 {
+		tags = append(tags, fmt.Sprintf("gamma%.1f", w.gamma))
+	}
+	tag := ""
+	if len(tags) > 0 {
+		tag = "/" + strings.Join(tags, "+")
+	}
+	return fmt.Sprintf("%s/seed%d%s", w.profile.Name, w.seed, tag)
+}
+
+// diffWorkloads is the seeded workload table: every profile, both pruning
+// modes, two seeds each, plus routing/stream/rule-shape variants.
+func diffWorkloads() []diffWorkload {
+	var ws []diffWorkload
+	profiles := []gen.Profile{gen.DBpedia, gen.YAGO2, gen.Pokec, gen.Synthetic}
+	entities := map[string]int{"dbpedia": 180, "yago2": 180, "pokec": 90, "synthetic": 180}
+	for _, p := range profiles {
+		for _, seed := range []int64{1, 2} {
+			for _, noPrune := range []bool{false, true} {
+				ws = append(ws, diffWorkload{
+					profile: p, entities: entities[p.Name], rules: 10,
+					seed: seed, batches: 3, batchFrac: 0.06, noPruning: noPrune,
+				})
+			}
+		}
+	}
+	// parallel session routing, one per profile
+	for i, p := range profiles {
+		ws = append(ws, diffWorkload{
+			profile: p, entities: entities[p.Name], rules: 10,
+			seed: int64(3 + i), batches: 3, batchFrac: 0.06, parallel: true,
+		})
+	}
+	// edge-less rule in Σ: new-node absorption must stay consistent
+	for _, seed := range []int64{5, 6} {
+		ws = append(ws, diffWorkload{
+			profile: gen.YAGO2, entities: 150, rules: 8,
+			seed: seed, batches: 3, batchFrac: 0.08, nodeRule: true,
+		})
+	}
+	// uniform (non-bursty) stream and delete-heavy / insert-heavy mixes
+	ws = append(ws,
+		diffWorkload{profile: gen.Synthetic, entities: 180, rules: 10,
+			seed: 7, batches: 3, batchFrac: 0.06, hotspot: -1},
+		diffWorkload{profile: gen.DBpedia, entities: 180, rules: 10,
+			seed: 8, batches: 3, batchFrac: 0.08, gamma: 3.0},
+		diffWorkload{profile: gen.YAGO2, entities: 180, rules: 10,
+			seed: 9, batches: 3, batchFrac: 0.08, gamma: 0.3},
+	)
+	return ws
+}
+
+// canon renders a violation set in canonical byte form.
+func canon(vs []core.Violation) string {
+	keys := detect.VioKeySet(vs)
+	return canonKeys(keys)
+}
+
+func canonKeys(m map[string]core.Violation) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// reconcile applies (ΔVio⁺, ΔVio⁻) to a key set copy.
+func reconcile(prev map[string]core.Violation, plus, minus []core.Violation) map[string]core.Violation {
+	next := make(map[string]core.Violation, len(prev)+len(plus))
+	for k, v := range prev {
+		next[k] = v
+	}
+	for _, v := range minus {
+		delete(next, v.Key())
+	}
+	for _, v := range plus {
+		next[v.Key()] = v
+	}
+	return next
+}
+
+func TestDifferentialContinuousDetection(t *testing.T) {
+	workloads := diffWorkloads()
+	if len(workloads) < 24 {
+		t.Fatalf("workload table shrank to %d entries", len(workloads))
+	}
+	for _, w := range workloads {
+		w := w
+		t.Run(w.name(), func(t *testing.T) {
+			t.Parallel()
+			runDifferential(t, w)
+		})
+	}
+}
+
+func runDifferential(t *testing.T, w diffWorkload) {
+	ds := gen.Generate(w.profile, w.entities, w.seed)
+	rules := gen.Rules(w.profile, gen.RuleConfig{Count: w.rules, MaxDiameter: 4, Seed: w.seed})
+	if w.nodeRule {
+		rules.Add(noSevenRule())
+	}
+	sess := session.New(ds.G, rules, session.Options{
+		Parallel: w.parallel, NoPruning: w.noPruning,
+	})
+	parOpts := par.Hybrid(6)
+	parOpts.NoPruning = w.noPruning
+
+	// the session's seed store must already match batch detection
+	if got, want := canon(sess.Violations()),
+		canon(detect.Dect(ds.G, rules, detect.Options{NoPruning: w.noPruning}).Violations); got != want {
+		t.Fatalf("workload %s: seed store != Dect\nstore:\n%s\nDect:\n%s", w.name(), got, want)
+	}
+
+	for b := 0; b < w.batches; b++ {
+		delta := update.Random(ds, update.Config{
+			Size:    update.SizeFor(ds.G, w.batchFrac),
+			Gamma:   w.gamma,
+			Seed:    w.seed*1000 + int64(b),
+			Hotspot: w.hotspot,
+		})
+		prev := detect.VioKeySet(sess.Violations())
+
+		// incremental answers against the pre-commit graph (neither call
+		// mutates G; the session commits afterwards)
+		incRes := inc.IncDect(ds.G, rules, delta, inc.Options{NoPruning: w.noPruning})
+		pincRes := par.PIncDect(ds.G, rules, delta, parOpts)
+
+		sess.Commit(delta)
+		store := canonKeys(detect.VioKeySet(sess.Violations()))
+
+		// ground truth: from-scratch batch detection on the committed graph
+		dect := canon(detect.Dect(ds.G, rules, detect.Options{NoPruning: w.noPruning}).Violations)
+		if store != dect {
+			t.Fatalf("workload %s batch %d: session store != Dect(Σ,G)\nstore:\n%s\nDect:\n%s",
+				w.name(), b, store, dect)
+		}
+		pdect := canon(par.PDect(ds.G, rules, parOpts).Violations)
+		if store != pdect {
+			t.Fatalf("workload %s batch %d: session store != PDect(Σ,G)\nstore:\n%s\nPDect:\n%s",
+				w.name(), b, store, pdect)
+		}
+
+		// the reconciled incremental answers must land on the same store.
+		// An edge-less rule's new-node violations flow through absorption,
+		// not through ΔVio, so the pure-reconcile comparison applies only
+		// to edged rule sets.
+		if !w.nodeRule {
+			if got := canonKeys(reconcile(prev, incRes.Plus, incRes.Minus)); got != store {
+				t.Fatalf("workload %s batch %d: IncDect-reconciled set != store\nreconciled:\n%s\nstore:\n%s",
+					w.name(), b, got, store)
+			}
+			if got := canonKeys(reconcile(prev, pincRes.Delta.Plus, pincRes.Delta.Minus)); got != store {
+				t.Fatalf("workload %s batch %d: PIncDect-reconciled set != store\nreconciled:\n%s\nstore:\n%s",
+					w.name(), b, got, store)
+			}
+		}
+	}
+}
+
+// TestDifferentialRealDriver runs one workload through the goroutine driver
+// (the -race CI job's target): the real-thread PIncDect must agree with the
+// session store batch for batch.
+func TestDifferentialRealDriver(t *testing.T) {
+	ds := gen.Generate(gen.YAGO2, 150, 11)
+	rules := gen.Rules(gen.YAGO2, gen.RuleConfig{Count: 8, MaxDiameter: 4, Seed: 11})
+	opts := par.Hybrid(4)
+	opts.Real = true
+	sess := session.New(ds.G, rules, session.Options{Parallel: true, Par: opts})
+	for b := 0; b < 3; b++ {
+		delta := update.Random(ds, update.Config{
+			Size: update.SizeFor(ds.G, 0.08), Gamma: 1, Seed: 11000 + int64(b),
+		})
+		sess.Commit(delta)
+		store := canonKeys(detect.VioKeySet(sess.Violations()))
+		dect := canon(detect.Dect(ds.G, rules, detect.Options{}).Violations)
+		if store != dect {
+			t.Fatalf("real driver batch %d (seed 11): store != Dect\nstore:\n%s\nDect:\n%s", b, store, dect)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+// Package session implements continuous detection sessions: the stateful
+// serving layer the batch and incremental algorithms plug into. A Session
+// owns a graph G and a rule set Σ, commits batch updates ΔG in place with
+// graph.(*Graph).Apply, and keeps the violation store Vio(Σ, G) live across
+// commits by reconciling IncDect's ΔVio⁺/ΔVio⁻ (or PIncDect's, under the
+// parallel toggle) instead of re-running batch detection.
+//
+// Store invariant: after every Commit the store equals Dect(Σ, G) on the
+// committed graph, keyed by canonical violation identity (core.Violation.Key).
+// Recheck audits the invariant; differential_test.go enforces it against all
+// four detectors on seeded update streams.
+//
+// Each batch is coalesced before pivot generation — duplicate unit updates
+// dedupe (last op per edge wins), insert+delete pairs annihilate, and ops
+// without effect on G (re-inserting a present edge, deleting an absent one)
+// are elided — so the incremental detectors and the commit see the minimal
+// normalized ΔG.
+//
+// Node arrivals are allowed between commits (a new entity lands with its
+// attribute star before its edges do; see internal/update): Commit absorbs
+// nodes added since the previous commit. Update-driven pivots are
+// edge-only, so the one match shape they can never see is a new node bound
+// to an *isolated* pattern node (a pattern node with no incident pattern
+// edges — the whole pattern for single-node rules, one cross-product
+// component for disconnected patterns); Commit searches those matches
+// directly from the arriving nodes.
+package session
+
+import (
+	"fmt"
+	"sort"
+
+	"ngd/internal/core"
+	"ngd/internal/detect"
+	"ngd/internal/graph"
+	"ngd/internal/inc"
+	"ngd/internal/match"
+	"ngd/internal/par"
+)
+
+// Options configure a detection session.
+type Options struct {
+	// Parallel routes batches through par.PIncDect (and the initial store
+	// seeding through par.PDect) instead of the sequential algorithms. Both
+	// routes produce identical stores; the toggle can also be flipped
+	// per-batch with SetParallel.
+	Parallel bool
+	// Par configures the parallel engine when Parallel is set. The zero
+	// value means the full hybrid strategy (splitting + balancing) at the
+	// default worker count; set Real for the goroutine driver. Par.Limit
+	// is ignored: the store invariant needs complete violation sets, so
+	// detection always runs unbounded.
+	Par par.Options
+	// NoPruning disables index-backed candidate pruning in every routed
+	// detector (differential testing; see detect.Options.NoPruning).
+	NoPruning bool
+}
+
+// BatchStats reports what one Commit did.
+type BatchStats struct {
+	Batch  int // 1-based commit sequence number
+	RawOps int // |ΔG| as submitted
+	Ops    int // after coalescing (dedupe + annihilation + no-op elision)
+
+	Inserted  int // edges committed into G
+	Deleted   int // edges removed from G
+	Compacted int // adjacency lists compacted by the commit
+	NewNodes  int // nodes absorbed (arrived on G since the previous commit)
+
+	Plus  int // |ΔVio⁺| reconciled into the store
+	Minus int // |ΔVio⁻| reconciled out of the store
+	// Absorbed counts violations added by the arriving-node searches
+	// (isolated pattern slots), so the store-size delta always accounts:
+	// StoreSize == previous + Absorbed + Plus − Minus.
+	Absorbed int
+	// Pivots is the number of update pivots expanded (sequential route only).
+	Pivots int
+	// Cost is the batch's deterministic detection cost: work units
+	// (candidates + checks) under IncDect, simulated makespan under PIncDect.
+	Cost float64
+	// StoreSize is |Vio(Σ, G)| after the commit.
+	StoreSize int
+}
+
+// Session is a continuous detection session over an owned graph.
+//
+// A Session is not safe for concurrent use; Commit mutates the owned graph.
+// Between commits the graph may gain nodes (with attributes) externally,
+// but edge mutations must go through Commit or the store invariant breaks.
+type Session struct {
+	g     *graph.Graph
+	rules *core.Set
+	opts  Options
+
+	// store is the live violation set, keyed by core.Violation.Key.
+	store map[string]core.Violation
+	// edgeRules (patterns with ≥1 edge) produce update pivots and go to the
+	// incremental detectors; isoRules additionally need the arriving-node
+	// searches of absorbNewNodes.
+	edgeRules *core.Set
+	isoRules  []isoRule
+
+	seenNodes int
+	commits   int
+}
+
+// isoRule is a rule whose pattern has isolated nodes (no incident pattern
+// edges); slots lists their indices in ascending order. An arriving node
+// bound to such a slot creates matches that use no inserted edge, which
+// the edge-driven pivots cannot discover.
+type isoRule struct {
+	rule  *core.NGD
+	slots []int
+}
+
+// New opens a session over g and rules, seeding the store with a full
+// batch detection run (Dect, or PDect under Options.Parallel).
+func New(g *graph.Graph, rules *core.Set, opts Options) *Session {
+	s := &Session{
+		g:         g,
+		rules:     rules,
+		opts:      opts,
+		store:     make(map[string]core.Violation),
+		edgeRules: core.NewSet(),
+	}
+	for _, r := range rules.Rules {
+		if len(r.Pattern.Edges) > 0 {
+			s.edgeRules.Add(r)
+		}
+		touched := make([]bool, len(r.Pattern.Nodes))
+		for _, e := range r.Pattern.Edges {
+			touched[e.Src], touched[e.Dst] = true, true
+		}
+		var slots []int
+		for i := range r.Pattern.Nodes {
+			if !touched[i] {
+				slots = append(slots, i)
+			}
+		}
+		if len(slots) > 0 {
+			s.isoRules = append(s.isoRules, isoRule{rule: r, slots: slots})
+		}
+	}
+	var vios []core.Violation
+	if opts.Parallel {
+		vios = par.PDect(g, rules, s.parOpts()).Violations
+	} else {
+		vios = detect.Dect(g, rules, detect.Options{NoPruning: opts.NoPruning}).Violations
+	}
+	for _, v := range vios {
+		s.store[v.Key()] = v
+	}
+	s.seenNodes = g.NumNodes()
+	return s
+}
+
+// parOpts resolves the session's parallel-engine options: an untouched
+// zero value means the full hybrid strategy at the default worker count.
+func (s *Session) parOpts() par.Options {
+	o := s.opts.Par
+	if o.P == 0 && !o.SplitUnits && !o.Balance && !o.Real {
+		o = par.Hybrid(0)
+	}
+	o.NoPruning = o.NoPruning || s.opts.NoPruning
+	o.AssumeNormalized = true
+	o.Limit = 0
+	return o
+}
+
+// SetParallel flips batch routing between IncDect and PIncDect for
+// subsequent commits. The resulting stores are identical either way.
+func (s *Session) SetParallel(on bool) { s.opts.Parallel = on }
+
+// Graph exposes the owned graph (read it freely; mutate edges only via
+// Commit).
+func (s *Session) Graph() *graph.Graph { return s.g }
+
+// Rules exposes Σ.
+func (s *Session) Rules() *core.Set { return s.rules }
+
+// Len reports the live store size |Vio(Σ, G)|.
+func (s *Session) Len() int { return len(s.store) }
+
+// Commits reports how many batches have been committed.
+func (s *Session) Commits() int { return s.commits }
+
+// Has reports whether the store holds a violation with the given canonical
+// key.
+func (s *Session) Has(key string) bool {
+	_, ok := s.store[key]
+	return ok
+}
+
+// Violations returns the live store sorted by canonical key.
+func (s *Session) Violations() []core.Violation {
+	keys := make([]string, 0, len(s.store))
+	for k := range s.store {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]core.Violation, len(keys))
+	for i, k := range keys {
+		out[i] = s.store[k]
+	}
+	return out
+}
+
+// Commit coalesces ΔG, computes ΔVio against the pre-commit graph with the
+// routed incremental detector, commits ΔG into G in place, and reconciles
+// the store. A nil or empty delta still absorbs externally arrived nodes.
+func (s *Session) Commit(d *graph.Delta) BatchStats {
+	s.commits++
+	st := BatchStats{Batch: s.commits}
+	if d == nil {
+		d = &graph.Delta{}
+	}
+	st.RawOps = d.Len()
+
+	// coalesce once: dedupe, annihilate, drop ineffective ops
+	norm := d.Normalize(s.g)
+	st.Ops = norm.Len()
+
+	// absorb nodes that arrived since the last commit (isolated pattern
+	// slots gain matches the edge-driven pivots cannot see)
+	st.NewNodes = s.g.NumNodes() - s.seenNodes
+	st.Absorbed = s.absorbNewNodes()
+
+	// incremental answer on the pre-commit graph
+	if norm.Len() > 0 {
+		var plus, minus []core.Violation
+		if s.opts.Parallel {
+			r := par.PIncDect(s.g, s.edgeRules, norm, s.parOpts())
+			plus, minus = r.Delta.Plus, r.Delta.Minus
+			st.Cost = r.Metrics.Makespan
+		} else {
+			r := inc.IncDect(s.g, s.edgeRules, norm, inc.Options{
+				NoPruning:        s.opts.NoPruning,
+				AssumeNormalized: true,
+			})
+			plus, minus = r.Plus, r.Minus
+			st.Cost = float64(r.Counters.Candidates + r.Counters.Checks)
+			st.Pivots = r.Pivots
+		}
+		for _, v := range minus {
+			delete(s.store, v.Key())
+		}
+		for _, v := range plus {
+			s.store[v.Key()] = v
+		}
+		st.Plus, st.Minus = len(plus), len(minus)
+	}
+
+	// commit ΔG into G
+	ap := s.g.Apply(norm)
+	st.Inserted, st.Deleted, st.Compacted = ap.Inserted, ap.Deleted, ap.Compacted
+	st.StoreSize = len(s.store)
+	return st
+}
+
+// absorbNewNodes finds the violating matches that bind a node added since
+// the previous commit to an isolated pattern slot, and advances the node
+// watermark. Each arriving node seeds a pre-bound violation search (the
+// rest of the pattern — other isolated slots, disconnected edge
+// components — expands as usual); a match binding several arriving nodes
+// at isolated slots is emitted exactly once, by its smallest such slot.
+// Arriving nodes cannot extend any *old* match (they had no edges before
+// this commit, and isolated slots bind every candidate independently), so
+// only the seeded searches are needed. It returns the number of
+// violations it added to the store.
+func (s *Session) absorbNewNodes() int {
+	n := s.g.NumNodes()
+	lo := s.seenNodes
+	s.seenNodes = n
+	if n == lo || len(s.isoRules) == 0 {
+		return 0
+	}
+	absorbed := 0
+	for _, ir := range s.isoRules {
+		if len(ir.rule.Y) == 0 {
+			continue // X → ∅ can never be violated
+		}
+		c := detect.CompileRule(ir.rule, s.g.Symbols())
+		nPat := len(ir.rule.Pattern.Nodes)
+		for _, slot := range ir.slots {
+			var searcher *detect.Searcher
+			for v := lo; v < n; v++ {
+				id := graph.NodeID(v)
+				if !c.CP.NodeMatches(slot, s.g.Label(id)) {
+					continue
+				}
+				if searcher == nil {
+					searcher = detect.NewSearcher(s.g, c,
+						c.BuildPlan(s.g, []int{slot}, s.opts.NoPruning))
+				}
+				partial := match.NewPartial(nPat)
+				partial[slot] = id
+				searcher.Run(partial, func(m core.Match) bool {
+					for _, s2 := range ir.slots {
+						if s2 == slot {
+							break
+						}
+						if int(m[s2]) >= lo {
+							return true // a smaller isolated slot owns this match
+						}
+					}
+					vio := core.Violation{Rule: ir.rule, Match: m}
+					s.store[vio.Key()] = vio
+					absorbed++
+					return true
+				})
+			}
+		}
+	}
+	return absorbed
+}
+
+// Recheck audits the store invariant store ≡ Dect(Σ, G) with a from-scratch
+// batch run, returning the first divergence found (nil when consistent).
+// It costs a full Dect: a self-audit for tests and debugging, not part of
+// the per-batch path. The invariant is guaranteed only at commit
+// boundaries; nodes added since the last Commit are not yet absorbed.
+func (s *Session) Recheck() error {
+	fresh := detect.VioKeySet(detect.Dect(s.g, s.rules, detect.Options{NoPruning: s.opts.NoPruning}).Violations)
+	for k := range fresh {
+		if _, ok := s.store[k]; !ok {
+			return fmt.Errorf("session: store missing violation %s", k)
+		}
+	}
+	for k := range s.store {
+		if _, ok := fresh[k]; !ok {
+			return fmt.Errorf("session: store holds stale violation %s", k)
+		}
+	}
+	return nil
+}

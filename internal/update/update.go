@@ -43,7 +43,11 @@ func SizeFor(g *graph.Graph, frac float64) int {
 
 // Random generates ΔG against the dataset's graph. New entities are added
 // to the graph's node set immediately (isolated until their edges apply);
-// edge ops go into the returned delta. Callers should Normalize before use.
+// edge ops go into the returned delta. The delta may contain duplicates and
+// ops that are no-ops against G — the consuming paths all coalesce it:
+// session.Commit normalizes once before pivot generation (and absorbs the
+// new nodes), while IncDect/PIncDect normalize internally when driven
+// directly.
 func Random(ds *gen.Dataset, cfg Config) *graph.Delta {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	d := &graph.Delta{}

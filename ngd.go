@@ -12,6 +12,8 @@
 //   - batch violation detection (Dect), parallel batch detection (PDect),
 //     incremental detection (IncDect) and parallel scalable incremental
 //     detection with hybrid workload balancing (PIncDect);
+//   - continuous detection sessions that commit ΔG in place and keep the
+//     violation store live across batches (NewSession);
 //   - the static analyses: satisfiability, strong satisfiability and
 //     implication, with exact integer arithmetic;
 //   - workload generators reproducing the paper's evaluation setup.
@@ -39,6 +41,7 @@ import (
 	"ngd/internal/par"
 	"ngd/internal/pattern"
 	"ngd/internal/reason"
+	"ngd/internal/session"
 )
 
 // Re-exported core types. The aliases expose the full method sets of the
@@ -79,6 +82,15 @@ type (
 	ParallelOptions = par.Options
 	// ParallelMetrics report simulated makespan, work, splits and moves.
 	ParallelMetrics = par.Metrics
+	// Session is a continuous detection session: it owns a graph, commits
+	// batch updates in place, and keeps the violation store Vio(Σ, G) live
+	// by reconciling incremental answers (internal/session).
+	Session = session.Session
+	// SessionOptions configure a session (parallel routing, pruning).
+	SessionOptions = session.Options
+	// BatchStats report what one session commit did (coalescing, commit
+	// effects, ΔVio sizes, detection cost, store size).
+	BatchStats = session.BatchStats
 )
 
 // Value constructors.
@@ -189,6 +201,14 @@ func PIncDetect(g *Graph, rules *RuleSet, delta *Delta, opts ParallelOptions) (*
 
 // Parallel returns the default hybrid parallel configuration for p workers.
 func Parallel(p int) ParallelOptions { return par.Hybrid(p) }
+
+// NewSession opens a continuous detection session over g: the store seeds
+// from a full batch run, then each Commit(delta) coalesces ΔG, detects
+// incrementally, commits the update into g in place, and reconciles the
+// live store — which always equals Detect(g, rules).Violations.
+func NewSession(g *Graph, rules *RuleSet, opts SessionOptions) *Session {
+	return session.New(g, rules, opts)
+}
 
 // Verdict is the three-valued answer of the static analyses.
 type Verdict = reason.Verdict

@@ -155,3 +155,39 @@ func TestPublicAPIGraphIO(t *testing.T) {
 		t.Fatalf("rule format round trip: %v", err)
 	}
 }
+
+func TestPublicAPISession(t *testing.T) {
+	g := ngd.NewGraph()
+	buildArea(g, 600, 722, 1322) // consistent
+	bad := buildArea(g, 600, 722, 1572)
+	rules, err := ngd.ParseRules(strings.NewReader(quickRules))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := ngd.NewSession(g, rules, ngd.SessionOptions{})
+	if s.Len() != 1 {
+		t.Fatalf("seeded store = %d, want 1", s.Len())
+	}
+
+	// repair the bad area by rewiring its total to a correct node
+	totLbl := g.Symbols().Label("total")
+	var oldTot ngd.NodeID = -1
+	for _, h := range g.Out(bad) {
+		if h.Label == totLbl {
+			oldTot = h.To
+		}
+	}
+	fixed := g.AddNode("integer")
+	g.SetAttr(fixed, "val", ngd.Int(1322))
+	d := &ngd.Delta{}
+	d.Delete(bad, oldTot, totLbl)
+	d.Insert(bad, fixed, totLbl)
+	st := s.Commit(d)
+	if st.Minus != 1 || st.Plus != 0 || s.Len() != 0 {
+		t.Fatalf("commit stats %+v, store %d; want the violation repaired away", st, s.Len())
+	}
+	if got := ngd.Detect(s.Graph(), rules); len(got.Violations) != 0 {
+		t.Fatalf("graph still violates after in-place commit: %d", len(got.Violations))
+	}
+}
