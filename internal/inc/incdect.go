@@ -52,7 +52,9 @@ type pivot struct {
 
 // Options tune IncDect.
 type Options struct {
-	// Limit stops after this many violations per side (0 = unlimited).
+	// Limit stops after this many violations per side — ΔVio⁺ and ΔVio⁻
+	// each (0 = unlimited). par.Options.Limit follows the same per-side
+	// semantics, so the sequential and parallel detectors truncate alike.
 	Limit int
 	// NoPruning disables index-backed candidate pruning (see
 	// detect.Options.NoPruning).

@@ -1,0 +1,211 @@
+package par
+
+import (
+	"testing"
+
+	"ngd/internal/detect"
+	"ngd/internal/gen"
+	"ngd/internal/inc"
+	"ngd/internal/partition"
+	"ngd/internal/update"
+)
+
+// mkUnits builds n distinguishable units (pivotRank doubles as identity).
+func mkUnits(n int) []*unit {
+	us := make([]*unit, n)
+	for i := range us {
+		us[i] = &unit{pivotRank: i}
+	}
+	return us
+}
+
+// balanceScenario: one overloaded sender, one empty receiver and two
+// lightly-loaded receivers, so both the front-shedding order and the
+// per-receiver deficit caps are observable.
+//
+//	sender  20 units, receivers 0 / 3 / 2  →  avg 6.25
+//	deficits: 6, 3, 4  →  want 13; sender excess 20−6 = 14, capped at 13.
+const (
+	senderLoad = 20
+	wantMoved  = 13
+)
+
+var recvLoads = []int{0, 3, 2}
+
+// TestVBalanceFrontShedAndDeficits: the virtual balancer sheds from the
+// *front* of the sender's queue and never fills a receiver past its
+// deficit.
+func TestVBalanceFrontShedAndDeficits(t *testing.T) {
+	e := &engine{opts: Options{P: 4}.Defaults()}
+	ws := make([]*vworker, 4)
+	ws[0] = &vworker{}
+	for _, u := range mkUnits(senderLoad) {
+		ws[0].push(u)
+	}
+	for i, n := range recvLoads {
+		ws[i+1] = &vworker{}
+		// receiver-resident units carry negative ids to tell them apart
+		for j := 0; j < n; j++ {
+			ws[i+1].push(&unit{pivotRank: -(100*i + j + 1)})
+		}
+	}
+
+	T := 1000.0
+	moved := e.vbalance(ws, T)
+	if moved != wantMoved {
+		t.Fatalf("moved %d units, want %d", moved, wantMoved)
+	}
+	// front-shedding: the sender keeps the *newest* units 13..19
+	if got := ws[0].size(); got != senderLoad-wantMoved {
+		t.Fatalf("sender kept %d units, want %d", got, senderLoad-wantMoved)
+	}
+	for i := 0; !ws[0].empty(); i++ {
+		u := ws[0].pop()
+		if u.pivotRank != wantMoved+i {
+			t.Fatalf("sender kept unit %d at position %d, want %d (tail not front was shed)",
+				u.pivotRank, i, wantMoved+i)
+		}
+	}
+	// deficit caps: receiver i accepted at most int(avg) − size_i
+	lat := float64(e.opts.TrueLatency)
+	for i, before := range recvLoads {
+		w := ws[i+1]
+		deficit := 6 - before // int(avg)=6
+		accepted := 0
+		for !w.empty() {
+			u := w.pop()
+			if u.pivotRank < 0 {
+				continue // resident unit
+			}
+			accepted++
+			if u.xferCharge != xferCPU {
+				t.Errorf("transferred unit %d missing xferCharge", u.pivotRank)
+			}
+			if u.ready != T+lat {
+				t.Errorf("transferred unit %d ready=%v, want %v", u.pivotRank, u.ready, T+lat)
+			}
+		}
+		if accepted > deficit {
+			t.Errorf("receiver %d accepted %d units, deficit cap %d", i, accepted, deficit)
+		}
+	}
+}
+
+// TestGBalanceFrontShedAndDeficits: the goroutine balancer must behave
+// like the virtual one — front-shedding, deficit caps, xferCharge on moved
+// units, and monitoring + serialization costs charged.
+func TestGBalanceFrontShedAndDeficits(t *testing.T) {
+	e := &engine{opts: Options{P: 4}.Defaults()}
+	ws := make([]*gworker, 4)
+	for i := range ws {
+		ws[i] = &gworker{wake: make(chan struct{}, 1)}
+	}
+	for _, u := range mkUnits(senderLoad) {
+		ws[0].q = append(ws[0].q, u)
+	}
+	for i, n := range recvLoads {
+		for j := 0; j < n; j++ {
+			ws[i+1].q = append(ws[i+1].q, &unit{pivotRank: -(100*i + j + 1)})
+		}
+	}
+
+	moved := e.gbalance(ws)
+	if moved != wantMoved {
+		t.Fatalf("moved %d units, want %d", moved, wantMoved)
+	}
+	// front-shedding: the sender keeps units 13..19 in place
+	if len(ws[0].q) != senderLoad-wantMoved {
+		t.Fatalf("sender kept %d units, want %d", len(ws[0].q), senderLoad-wantMoved)
+	}
+	for i, u := range ws[0].q {
+		if u.pivotRank != wantMoved+i {
+			t.Fatalf("sender kept unit %d at position %d, want %d (tail not front was shed)",
+				u.pivotRank, i, wantMoved+i)
+		}
+	}
+	lat := float64(e.opts.TrueLatency)
+	// monitoring cost on every worker; serialization cost on the sender
+	if want := lat/2 + xferCPU*float64(wantMoved); ws[0].cost != want {
+		t.Errorf("sender cost %v, want %v (monitor + serialize)", ws[0].cost, want)
+	}
+	for i, before := range recvLoads {
+		w := ws[i+1]
+		if w.cost != lat/2 {
+			t.Errorf("receiver %d cost %v, want monitoring %v", i, w.cost, lat/2)
+		}
+		deficit := 6 - before
+		accepted := 0
+		for _, u := range w.q {
+			if u.pivotRank < 0 {
+				continue
+			}
+			accepted++
+			if u.xferCharge != xferCPU {
+				t.Errorf("transferred unit %d missing xferCharge", u.pivotRank)
+			}
+		}
+		if accepted > deficit {
+			t.Errorf("receiver %d accepted %d units, deficit cap %d", i, accepted, deficit)
+		}
+	}
+}
+
+// TestRealDriverDifferentialP3: PDect and PIncDect under the goroutine
+// driver at p=3 produce exactly the sequential answers (run under -race in
+// CI; odd p exercises the round-robin broadcast paths).
+func TestRealDriverDifferentialP3(t *testing.T) {
+	ds := gen.Generate(gen.Pokec, 250, 41)
+	rules := gen.Rules(gen.Pokec, gen.RuleConfig{Count: 10, MaxDiameter: 4, Seed: 41})
+	d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.12), Gamma: 1, Seed: 42})
+
+	opts := Hybrid(3)
+	opts.Real = true
+
+	wantBatch := detect.Dect(ds.G, rules, detect.Options{}).Violations
+	gotBatch := PDect(ds.G, rules, opts)
+	if !equalKeys(gotBatch.Violations, wantBatch) {
+		t.Errorf("PDect real p=3: got %d violations, want %d",
+			len(gotBatch.Violations), len(wantBatch))
+	}
+
+	wantInc := inc.IncDect(ds.G, rules, d, inc.Options{})
+	gotInc := PIncDect(ds.G, rules, d, opts)
+	if !equalKeys(gotInc.Delta.Plus, wantInc.Plus) || !equalKeys(gotInc.Delta.Minus, wantInc.Minus) {
+		t.Errorf("PIncDect real p=3: ΔVio⁺ %d/%d ΔVio⁻ %d/%d",
+			len(gotInc.Delta.Plus), len(wantInc.Plus),
+			len(gotInc.Delta.Minus), len(wantInc.Minus))
+	}
+}
+
+// TestPIncDectManyWorkers is the p=130 regression for the partition int8
+// overflow: `int8(v % p)` wrapped negative for p > 127, so Owner returned
+// a negative fragment and the seed distribution panicked.
+func TestPIncDectManyWorkers(t *testing.T) {
+	ds := gen.Generate(gen.YAGO2, 200, 51)
+	rules := gen.Rules(gen.YAGO2, gen.RuleConfig{Count: 8, MaxDiameter: 4, Seed: 51})
+	d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.1), Gamma: 1, Seed: 52})
+
+	want := inc.IncDect(ds.G, rules, d, inc.Options{})
+	got := PIncDect(ds.G, rules, d, Hybrid(130))
+	if !equalKeys(got.Delta.Plus, want.Plus) || !equalKeys(got.Delta.Minus, want.Minus) {
+		t.Errorf("PIncDect p=130 diverges from IncDect")
+	}
+}
+
+// TestMaintainedPartitionMatches: a partition supplied via Options.Part —
+// including one that is stale with respect to nodes added afterwards —
+// yields the same ΔVio as the internally built one.
+func TestMaintainedPartitionMatches(t *testing.T) {
+	ds := gen.Generate(gen.Pokec, 220, 61)
+	rules := gen.Rules(gen.Pokec, gen.RuleConfig{Count: 8, MaxDiameter: 4, Seed: 61})
+	pt := partition.Greedy(ds.G, 8) // built before the update adds nodes
+	d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.15), Gamma: 1, Seed: 62})
+
+	want := inc.IncDect(ds.G, rules, d, inc.Options{})
+	opts := Hybrid(8)
+	opts.Part = pt
+	got := PIncDect(ds.G, rules, d, opts)
+	if !equalKeys(got.Delta.Plus, want.Plus) || !equalKeys(got.Delta.Minus, want.Minus) {
+		t.Errorf("PIncDect with maintained partition diverges from IncDect")
+	}
+}

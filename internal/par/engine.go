@@ -31,6 +31,7 @@ import (
 	"ngd/internal/graph"
 	"ngd/internal/inc"
 	"ngd/internal/match"
+	"ngd/internal/partition"
 )
 
 // Options configure the parallel engine.
@@ -64,9 +65,20 @@ type Options struct {
 	// AssumeNormalized skips PIncDect's internal Normalize pass; the caller
 	// guarantees ΔG already has the normalized shape (see inc.Options).
 	AssumeNormalized bool
-	// Limit stops after this many violations in total (0 = unlimited;
-	// the limit is approximate under the goroutine driver).
+	// Limit stops after this many violations *per side* — ΔVio⁺ and ΔVio⁻
+	// each under PIncDect, matching inc.Options.Limit; a batch run (PDect)
+	// has a single side, so there it is a total limit. 0 = unlimited; the
+	// limit is approximate (a unit emits all its violations before the
+	// check applies, and the goroutine driver races against it). Once a
+	// side hits its limit, that side's remaining units are drained without
+	// expansion but still accounted in Metrics.Units, under both drivers.
 	Limit int
+	// Part is a maintained partition to distribute PIncDect's seed pivots
+	// with (see partition.Partition: built once, kept current with
+	// Extend/Refine). When nil, PIncDect builds a fresh partition.Greedy
+	// over the whole graph — correct, but O(|V|+|E|) per call; long-lived
+	// sessions own a maintained partition instead (internal/session).
+	Part *partition.Partition
 }
 
 // Defaults fills in zero fields (paper defaults: p=8 for parameter sweeps,
@@ -225,6 +237,14 @@ func (e *engine) smallestPivot(t *task, m []graph.NodeID, rank, slot int) bool {
 type taggedVio struct {
 	vio  core.Violation
 	plus bool
+}
+
+// sideIdx maps a side to its tally slot (0 = ΔVio⁻/batch, 1 = ΔVio⁺).
+func sideIdx(plus bool) int {
+	if plus {
+		return 1
+	}
+	return 0
 }
 
 // expandResult carries what one unit expansion produced.

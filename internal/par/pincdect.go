@@ -189,15 +189,23 @@ func PIncDect(g *graph.Graph, rules *core.Set, delta *graph.Delta, opts Options)
 	// updates landing in its fragment, Figure 3 lines 1–2), so a pivot's
 	// initial owner is the fragment owner of its source node. This is what
 	// produces the regionally-skewed workloads the hybrid strategy then
-	// splits and rebalances; see partition.Greedy.
-	pt := partition.Greedy(g, opts.P)
+	// splits and rebalances; see partition.Greedy. A maintained partition
+	// supplied via opts.Part is used as-is (the serving session keeps one
+	// current across commits); only a one-shot call without one pays the
+	// full-graph build here.
+	pt := opts.Part
+	if pt == nil {
+		pt = partition.Greedy(g, opts.P)
+	}
 	initial := make([][]*unit, opts.P)
 	for _, u := range seeds {
 		op := ins
 		if !tasks[u.task].plus {
 			op = del
 		}
-		w := pt.Owner(op[u.pivotRank].Src)
+		// Owner is bounds-safe for nodes newer than the partition; the
+		// modulus folds a partition with more fragments than workers.
+		w := pt.Owner(op[u.pivotRank].Src) % opts.P
 		initial[w] = append(initial[w], u)
 	}
 

@@ -42,8 +42,17 @@ func (w *gworker) size() int {
 	return len(w.q)
 }
 
+// addCost accumulates work cost; the balancer goroutine also charges
+// monitoring and serialization costs, so access is synchronized.
+func (w *gworker) addCost(c float64) {
+	w.mu.Lock()
+	w.cost += c
+	w.mu.Unlock()
+}
+
 // takeFront steals n units from the front (oldest, typically shallowest —
-// the biggest subtrees, which is what rebalancing wants to move).
+// the biggest subtrees, which is what rebalancing wants to move; the
+// virtual driver's vworker sheds the same end).
 func (w *gworker) takeFront(n int) []*unit {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -55,16 +64,91 @@ func (w *gworker) takeFront(n int) []*unit {
 	return out
 }
 
+// gbalance is one monitoring round of the goroutine driver, mirroring
+// vbalance unit for unit: every worker pays a monitoring cost, senders
+// above η× the average shed from the front up to the receivers' total
+// deficit, each receiver accepts at most its deficit (avg − size), and
+// every transferred unit carries an xferCharge the receiving worker pays
+// on expansion. It returns the number of units moved.
+func (e *engine) gbalance(ws []*gworker) int {
+	p := len(ws)
+	lat := float64(e.opts.TrueLatency)
+	sizes := make([]int, p)
+	total := 0
+	for i, w := range ws {
+		sizes[i] = w.size()
+		total += sizes[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	avg := float64(total) / float64(p)
+	// monitoring cost: a status round-trip per worker
+	for _, w := range ws {
+		w.addCost(lat / 2)
+	}
+	// receivers: workers below the low-water mark, each accepting at most
+	// its deficit, so a transfer never turns a receiver into the next
+	// straggler (see vbalance)
+	type recv struct {
+		w       *gworker
+		deficit int
+	}
+	var targets []recv
+	for i, w := range ws {
+		if float64(sizes[i]) < e.opts.EtaLow*avg {
+			if def := int(avg) - sizes[i]; def > 0 {
+				targets = append(targets, recv{w, def})
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return 0
+	}
+	moved := 0
+	for i, w := range ws {
+		if float64(sizes[i]) <= e.opts.Eta*avg {
+			continue
+		}
+		excess := sizes[i] - int(avg)
+		want := 0
+		for _, t := range targets {
+			want += t.deficit
+		}
+		if excess > want {
+			excess = want
+		}
+		if excess <= 0 {
+			continue
+		}
+		units := w.takeFront(excess)
+		// serializing the shed units costs the sender CPU
+		w.addCost(xferCPU * float64(len(units)))
+		ti := 0
+		for _, u := range units {
+			for targets[ti].deficit == 0 {
+				ti = (ti + 1) % len(targets)
+			}
+			u.xferCharge = xferCPU // deserialize on arrival
+			targets[ti].w.push(u)
+			targets[ti].deficit--
+			ti = (ti + 1) % len(targets)
+		}
+		moved += len(units)
+	}
+	return moved
+}
+
 // runReal executes the engine on p OS-scheduled goroutines. The balancer
 // goroutine implements the paper's periodic monitoring: every interval it
-// moves queued units from workers above η× the average queue length to
-// workers below η′×. Splitting decisions reuse the same cost model as the
-// virtual driver.
+// runs gbalance, the real-time twin of the virtual driver's vbalance.
+// Splitting decisions reuse the same cost model as the virtual driver.
 func (e *engine) runReal(initial [][]*unit) ([]taggedVio, Metrics) {
 	p := e.opts.P
 	ws := make([]*gworker, p)
 	var pending atomic.Int64
-	var vioCount atomic.Int64
+	// per-side violation tallies for the Limit cutoff (see Options.Limit)
+	var sideCount [2]atomic.Int64
 	var splits, moved, balEvents atomic.Int64
 	var unitCount atomic.Int64
 	done := make(chan struct{})
@@ -102,15 +186,21 @@ func (e *engine) runReal(initial [][]*unit) ([]taggedVio, Metrics) {
 						continue
 					}
 				}
-				if e.opts.Limit > 0 && vioCount.Load() >= int64(e.opts.Limit) {
-					// drain without expanding
+				if e.opts.Limit > 0 &&
+					sideCount[sideIdx(e.tasks[u.task].plus)].Load() >= int64(e.opts.Limit) {
+					// this side hit its limit: drain without expanding, but
+					// account the unit and its pending transfer charge so
+					// Units/cost mean the same thing as under the virtual
+					// driver
+					self.addCost(u.xferCharge)
+					unitCount.Add(1)
 					if pending.Add(-1) == 0 {
 						finish()
 					}
 					continue
 				}
 				res := e.expand(w, u)
-				self.cost += res.cost
+				self.addCost(res.cost)
 				unitCount.Add(1)
 				if len(res.children) > 0 {
 					pending.Add(int64(len(res.children)))
@@ -126,8 +216,11 @@ func (e *engine) runReal(initial [][]*unit) ([]taggedVio, Metrics) {
 					}
 				}
 				if len(res.vios) > 0 {
+					// vios are only ever touched by the owning worker
 					self.vios = append(self.vios, res.vios...)
-					vioCount.Add(int64(len(res.vios)))
+					for _, tv := range res.vios {
+						sideCount[sideIdx(tv.plus)].Add(1)
+					}
 				}
 				if pending.Add(-1) == 0 {
 					finish()
@@ -155,39 +248,7 @@ func (e *engine) runReal(initial [][]*unit) ([]taggedVio, Metrics) {
 					return
 				case <-t.C:
 					balEvents.Add(1)
-					sizes := make([]int, p)
-					total := 0
-					for i, w := range ws {
-						sizes[i] = w.size()
-						total += sizes[i]
-					}
-					if total == 0 {
-						continue
-					}
-					avg := float64(total) / float64(p)
-					var targets []*gworker
-					for i, w := range ws {
-						if float64(sizes[i]) < e.opts.EtaLow*avg {
-							targets = append(targets, w)
-						}
-					}
-					if len(targets) == 0 {
-						continue
-					}
-					for i, w := range ws {
-						if float64(sizes[i]) <= e.opts.Eta*avg {
-							continue
-						}
-						excess := sizes[i] - int(avg)
-						if excess <= 0 {
-							continue
-						}
-						units := w.takeFront(excess)
-						moved.Add(int64(len(units)))
-						for j, u := range units {
-							targets[j%len(targets)].push(u)
-						}
-					}
+					moved.Add(int64(e.gbalance(ws)))
 				}
 			}
 		}()

@@ -26,13 +26,20 @@ func (w *vworker) front() *unit { return w.q[w.head] }
 func (w *vworker) pop() *unit   { u := w.q[w.head]; w.q[w.head] = nil; w.head++; return u }
 func (w *vworker) push(u *unit) { w.q = append(w.q, u) }
 func (w *vworker) compact()     { w.q = append([]*unit(nil), w.q[w.head:]...); w.head = 0 }
-func (w *vworker) takeTail(n int) []*unit {
+
+// takeFront sheds n units from the front of the queue — the oldest,
+// typically shallowest units, i.e. the biggest subtrees, which is what
+// rebalancing wants to move (and what gworker.takeFront does; the two
+// drivers must shed the same end or their Moved/Makespan metrics diverge).
+func (w *vworker) takeFront(n int) []*unit {
 	if n > w.size() {
 		n = w.size()
 	}
-	cut := len(w.q) - n
-	out := append([]*unit(nil), w.q[cut:]...)
-	w.q = w.q[:cut]
+	out := append([]*unit(nil), w.q[w.head:w.head+n]...)
+	for i := w.head; i < w.head+n; i++ {
+		w.q[i] = nil
+	}
+	w.head += n
 	return out
 }
 
@@ -51,7 +58,10 @@ func (e *engine) runVirtual(initial [][]*unit, startCost float64) ([]taggedVio, 
 	var met Metrics
 	met.Makespan = startCost
 	nextBal := e.opts.Intvl
-	totalVios := 0
+	// per-side violation tallies for the Limit cutoff (ΔVio⁺ and ΔVio⁻ are
+	// limited independently, matching inc.Options.Limit; batch runs have a
+	// single side)
+	sideVios := [2]int{}
 
 	for {
 		// next event: the worker whose front unit can start earliest
@@ -79,6 +89,16 @@ func (e *engine) runVirtual(initial [][]*unit, startCost float64) ([]taggedVio, 
 		}
 		vw := ws[w]
 		u := vw.pop()
+		if e.opts.Limit > 0 && sideVios[sideIdx(e.tasks[u.task].plus)] >= e.opts.Limit {
+			// this side hit its limit: drain without expanding, but account
+			// the unit and its pending transfer charge so Units/cost mean
+			// the same thing as under the goroutine driver
+			vw.clock = start + u.xferCharge
+			vw.work += u.xferCharge
+			met.TotalWork += u.xferCharge
+			met.Units++
+			continue
+		}
 		res := e.expand(w, u)
 		if start < u.ready {
 			start = u.ready
@@ -102,9 +122,8 @@ func (e *engine) runVirtual(initial [][]*unit, startCost float64) ([]taggedVio, 
 		}
 		if len(res.vios) > 0 {
 			vw.vios = append(vw.vios, res.vios...)
-			totalVios += len(res.vios)
-			if e.opts.Limit > 0 && totalVios >= e.opts.Limit {
-				break
+			for _, tv := range res.vios {
+				sideVios[sideIdx(tv.plus)]++
 			}
 		}
 	}
@@ -189,7 +208,7 @@ func (e *engine) vbalance(ws []*vworker, T float64) int {
 		if excess <= 0 {
 			continue
 		}
-		units := vw.takeTail(excess)
+		units := vw.takeFront(excess)
 		// serializing the shed units costs the sender CPU (a partial
 		// solution is a few dozen bytes — far less than expanding it);
 		// the latency is a delay on availability, not CPU time

@@ -12,6 +12,13 @@
 // Fragmentation drives worker ownership of update pivots and the
 // communication-cost accounting of the parallel engine: an edge whose
 // endpoints live in different fragments is a crossing edge.
+//
+// A Partition is a *maintained* structure: built once over the initial
+// graph, then kept current across commits with Extend (place nodes added
+// since the build) and Refine (churn-driven local improvement around the
+// nodes an update touched). A long-lived serving session therefore never
+// pays the O(|V|+|E|) rebuild per batch — per-batch maintenance is
+// proportional to |ΔG| and the degree of the touched nodes.
 package partition
 
 import (
@@ -21,81 +28,165 @@ import (
 // Partition assigns every node to one of p fragments.
 type Partition struct {
 	P    int
-	Frag []int8 // Frag[v] = fragment of node v
+	Frag []int32 // Frag[v] = fragment of node v
+	load []int   // node count per fragment (maintained by Extend/Refine)
 }
 
-// Owner returns the fragment owning node v.
-func (pt *Partition) Owner(v graph.NodeID) int { return int(pt.Frag[v]) }
+// Owner returns the fragment owning node v. Nodes added to the graph after
+// the partition was built (and not yet absorbed by Extend) fall back to
+// modulo placement, so Owner never indexes out of range or goes negative.
+func (pt *Partition) Owner(v graph.NodeID) int {
+	if int(v) >= len(pt.Frag) {
+		return int(v) % pt.P
+	}
+	return int(pt.Frag[v])
+}
 
-// Hash partitions nodes round-robin by id.
-func Hash(g *graph.Graph, p int) *Partition {
+// newPartition allocates a partition for n placed nodes.
+func newPartition(p, n int) *Partition {
 	if p < 1 {
 		p = 1
 	}
-	pt := &Partition{P: p, Frag: make([]int8, g.NumNodes())}
+	return &Partition{P: p, Frag: make([]int32, n), load: make([]int, p)}
+}
+
+// Hash partitions nodes round-robin by id.
+func Hash(g *graph.Graph, p int) *Partition {
+	pt := newPartition(p, g.NumNodes())
 	for v := range pt.Frag {
-		pt.Frag[v] = int8(v % p)
+		f := v % pt.P
+		pt.Frag[v] = int32(f)
+		pt.load[f]++
 	}
 	return pt
+}
+
+// capacity is the hard per-fragment bound for n placed nodes: 10% slack
+// over perfect balance, plus one.
+func (pt *Partition) capacity(n int) int {
+	return (n*11)/(10*pt.P) + 1
+}
+
+// neighborScores tallies, per fragment, how many of v's already-placed
+// neighbors (id < len(Frag), self-loops excluded) live there — the
+// affinity objective shared by the initial build, Extend and Refine.
+func (pt *Partition) neighborScores(g *graph.Graph, v graph.NodeID, scores []int) {
+	for i := range scores {
+		scores[i] = 0
+	}
+	for _, h := range g.Out(v) {
+		if int(h.To) < len(pt.Frag) && h.To != v {
+			scores[pt.Frag[h.To]]++
+		}
+	}
+	for _, h := range g.In(v) {
+		if int(h.To) < len(pt.Frag) && h.To != v {
+			scores[pt.Frag[h.To]]++
+		}
+	}
+}
+
+// place greedily assigns node v: the fragment with the highest neighbor
+// affinity minus a linear load penalty, under the capacity bound. n is the
+// total node count the load penalty is normalized against.
+func (pt *Partition) place(g *graph.Graph, v graph.NodeID, scores []int, capacity, n int) int {
+	pt.neighborScores(g, v, scores)
+	best, bestScore := -1, -1<<30
+	for i := 0; i < pt.P; i++ {
+		if pt.load[i] >= capacity {
+			continue
+		}
+		// neighbor affinity minus a linear load penalty, scaled so the
+		// penalty matters once fragments diverge by >2% of |V|/p
+		s := scores[i]*50*pt.P - pt.load[i]*pt.P*50/(n+1)
+		if s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if best < 0 {
+		best = int(v) % pt.P // all at capacity (can't happen with slack > 1)
+	}
+	return best
 }
 
 // Greedy streams nodes in id order, placing each on the fragment with the
 // highest score: (#neighbors already there) − load_penalty. Balance is
-// enforced with a hard capacity of ⌈1.1·|V|/p⌉ per fragment.
+// enforced with a hard capacity of ⌈1.1·|V|/p⌉ per fragment. It is an
+// Extend from the empty placement, so builds and incremental extends can
+// never diverge.
 func Greedy(g *graph.Graph, p int) *Partition {
-	if p < 1 {
-		p = 1
-	}
-	n := g.NumNodes()
-	pt := &Partition{P: p, Frag: make([]int8, n)}
-	for v := range pt.Frag {
-		pt.Frag[v] = -1
-	}
-	load := make([]int, p)
-	capacity := (n*11)/(10*p) + 1
-	scores := make([]int, p)
-	for v := 0; v < n; v++ {
-		for i := range scores {
-			scores[i] = 0
-		}
-		for _, h := range g.Out(graph.NodeID(v)) {
-			if f := pt.Frag[h.To]; f >= 0 {
-				scores[f]++
-			}
-		}
-		for _, h := range g.In(graph.NodeID(v)) {
-			if f := pt.Frag[h.To]; f >= 0 {
-				scores[f]++
-			}
-		}
-		best, bestScore := -1, -1<<30
-		for i := 0; i < p; i++ {
-			if load[i] >= capacity {
-				continue
-			}
-			// neighbor affinity minus a linear load penalty, scaled so the
-			// penalty matters once fragments diverge by >2% of |V|/p
-			s := scores[i]*50*p - load[i]*p*50/(n+1)
-			if s > bestScore {
-				best, bestScore = i, s
-			}
-		}
-		if best < 0 {
-			best = v % p // all at capacity (can't happen with slack > 1)
-		}
-		pt.Frag[v] = int8(best)
-		load[best]++
-	}
+	pt := newPartition(p, 0)
+	pt.Extend(g)
 	return pt
 }
 
+// Extend places every node added to g since the partition was built (or
+// last extended), with the same greedy streaming rule as the initial build.
+// It returns the number of nodes placed. Cost is proportional to the new
+// nodes and their degrees, not to |V|.
+func (pt *Partition) Extend(g *graph.Graph) int {
+	n := g.NumNodes()
+	lo := len(pt.Frag)
+	if n <= lo {
+		return 0
+	}
+	capacity := pt.capacity(n)
+	scores := make([]int, pt.P)
+	for v := lo; v < n; v++ {
+		best := pt.place(g, graph.NodeID(v), scores, capacity, n)
+		pt.Frag = append(pt.Frag, int32(best))
+		pt.load[best]++
+	}
+	return n - lo
+}
+
+// Refine locally improves the placement of the given nodes (typically the
+// nodes a batch update touched): a node moves to the fragment holding the
+// strict majority of its neighbors when that fragment has room. One pass,
+// cost proportional to the touched nodes' degrees. It returns the number
+// of nodes moved.
+func (pt *Partition) Refine(g *graph.Graph, nodes []graph.NodeID) int {
+	if len(pt.Frag) == 0 {
+		return 0
+	}
+	capacity := pt.capacity(len(pt.Frag))
+	scores := make([]int, pt.P)
+	moved := 0
+	for _, v := range nodes {
+		if int(v) >= len(pt.Frag) {
+			continue // not yet placed; Extend owns it
+		}
+		pt.neighborScores(g, v, scores)
+		cur := int(pt.Frag[v])
+		best := cur
+		for i := 0; i < pt.P; i++ {
+			if i == cur || pt.load[i] >= capacity {
+				continue
+			}
+			// strictly better affinity only: ties stay put, so refinement
+			// terminates and does not thrash between equal fragments
+			if scores[i] > scores[best] {
+				best = i
+			}
+		}
+		if best != cur {
+			pt.Frag[v] = int32(best)
+			pt.load[cur]--
+			pt.load[best]++
+			moved++
+		}
+	}
+	return moved
+}
+
 // CrossingEdges counts edges whose endpoints are in different fragments
-// (the edge-cut objective).
+// (the edge-cut objective). Unplaced nodes count at their Owner fallback.
 func (pt *Partition) CrossingEdges(g *graph.Graph) int {
 	cut := 0
 	for v := 0; v < g.NumNodes(); v++ {
+		fv := pt.Owner(graph.NodeID(v))
 		for _, h := range g.Out(graph.NodeID(v)) {
-			if pt.Frag[v] != pt.Frag[h.To] {
+			if fv != pt.Owner(h.To) {
 				cut++
 			}
 		}
@@ -103,11 +194,11 @@ func (pt *Partition) CrossingEdges(g *graph.Graph) int {
 	return cut
 }
 
-// Loads returns the node count per fragment.
+// Loads returns the node count per fragment (placed nodes only).
 func (pt *Partition) Loads() []int {
-	loads := make([]int, pt.P)
-	for _, f := range pt.Frag {
-		loads[f]++
-	}
-	return loads
+	return append([]int(nil), pt.load...)
 }
+
+// Placed reports how many nodes the partition has assigned; nodes with ids
+// ≥ Placed() are served by the Owner fallback until the next Extend.
+func (pt *Partition) Placed() int { return len(pt.Frag) }

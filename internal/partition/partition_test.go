@@ -74,3 +74,134 @@ func TestEmptyGraph(t *testing.T) {
 		t.Error("empty graph should produce empty partition")
 	}
 }
+
+// TestManyFragmentsOwnerNonNegative is the regression for the int8
+// overflow: with P > 127 the old `int8(v % p)` wrapped negative, so Owner
+// returned a negative fragment and the seed distribution panicked.
+func TestManyFragmentsOwnerNonNegative(t *testing.T) {
+	ds := gen.Generate(gen.YAGO2, 300, 7)
+	p := 130
+	for name, pt := range map[string]*Partition{
+		"hash":   Hash(ds.G, p),
+		"greedy": Greedy(ds.G, p),
+	} {
+		for v := 0; v < ds.G.NumNodes(); v++ {
+			f := pt.Owner(graph.NodeID(v))
+			if f < 0 || f >= p {
+				t.Fatalf("%s: Owner(%d) = %d out of [0,%d)", name, v, f, p)
+			}
+		}
+		total := 0
+		for _, l := range pt.Loads() {
+			total += l
+		}
+		if total != ds.G.NumNodes() {
+			t.Errorf("%s: loads sum %d != |V| %d", name, total, ds.G.NumNodes())
+		}
+	}
+}
+
+// TestOwnerBoundsSafeForUnplacedNodes: nodes added after the partition was
+// built must get a valid fallback owner, not an out-of-range index.
+func TestOwnerBoundsSafeForUnplacedNodes(t *testing.T) {
+	ds := gen.Generate(gen.YAGO2, 100, 4)
+	pt := Greedy(ds.G, 8)
+	placed := pt.Placed()
+	for i := 0; i < 20; i++ {
+		ds.G.AddNode("person")
+	}
+	for v := placed; v < ds.G.NumNodes(); v++ {
+		f := pt.Owner(graph.NodeID(v))
+		if f < 0 || f >= 8 {
+			t.Fatalf("Owner(%d) = %d for unplaced node", v, f)
+		}
+	}
+}
+
+// TestExtendPlacesNewNodes: Extend absorbs nodes added since the build and
+// keeps loads consistent and within capacity.
+func TestExtendPlacesNewNodes(t *testing.T) {
+	ds := gen.Generate(gen.Pokec, 300, 9)
+	p := 8
+	pt := Greedy(ds.G, p)
+	base := ds.G.NumNodes()
+
+	// new nodes wired into the existing graph so affinity matters
+	for i := 0; i < 50; i++ {
+		v := ds.G.AddNode("person")
+		ds.G.AddEdgeL(v, graph.NodeID(i%base), ds.G.Symbols().Label("knows"))
+	}
+	placed := pt.Extend(ds.G)
+	if placed != 50 {
+		t.Fatalf("Extend placed %d nodes, want 50", placed)
+	}
+	if pt.Placed() != ds.G.NumNodes() {
+		t.Fatalf("Placed() %d != |V| %d", pt.Placed(), ds.G.NumNodes())
+	}
+	capacity := (ds.G.NumNodes()*11)/(10*p) + 1
+	total := 0
+	for i, l := range pt.Loads() {
+		total += l
+		if l > capacity {
+			t.Errorf("fragment %d exceeds capacity after Extend: %d > %d", i, l, capacity)
+		}
+	}
+	if total != ds.G.NumNodes() {
+		t.Errorf("loads sum %d != |V| %d after Extend", total, ds.G.NumNodes())
+	}
+	if pt.Extend(ds.G) != 0 {
+		t.Error("second Extend with no new nodes placed something")
+	}
+}
+
+// TestRefineImprovesCut: moving a node whose neighbors all live elsewhere
+// must reduce the edge cut and keep the load accounting consistent.
+func TestRefineImprovesCut(t *testing.T) {
+	g := graph.New()
+	l := g.Symbols().Label("e")
+	// a star: center + 6 leaves, all placed adversarially
+	center := g.AddNode("n")
+	var leaves []graph.NodeID
+	for i := 0; i < 6; i++ {
+		v := g.AddNode("n")
+		g.AddEdgeL(center, v, l)
+		leaves = append(leaves, v)
+	}
+	// filler nodes so capacity has slack everywhere
+	for i := 0; i < 20; i++ {
+		g.AddNode("n")
+	}
+	// adversarial placement, built by hand: center alone on fragment 0
+	// with all its leaves on fragment 1, filler balancing the loads
+	pt := newPartition(2, g.NumNodes())
+	pt.Frag[center] = 0
+	for _, v := range leaves {
+		pt.Frag[v] = 1
+	}
+	for i := 0; i < 20; i++ {
+		f := int32(0)
+		if i >= 13 {
+			f = 1
+		}
+		pt.Frag[7+i] = f
+	}
+	for _, f := range pt.Frag {
+		pt.load[f]++
+	}
+	before := pt.CrossingEdges(g)
+	moved := pt.Refine(g, []graph.NodeID{center})
+	if moved != 1 {
+		t.Fatalf("Refine moved %d nodes, want 1", moved)
+	}
+	after := pt.CrossingEdges(g)
+	if after >= before {
+		t.Errorf("Refine did not improve cut: %d -> %d", before, after)
+	}
+	total := 0
+	for _, ld := range pt.Loads() {
+		total += ld
+	}
+	if total != g.NumNodes() {
+		t.Errorf("loads sum %d != |V| %d after Refine", total, g.NumNodes())
+	}
+}

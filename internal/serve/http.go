@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"ngd/internal/core"
+)
+
+// vioJSON is the wire form of one violation.
+type vioJSON struct {
+	Key   string  `json:"key"`
+	Rule  string  `json:"rule"`
+	Match []int32 `json:"match"`
+	Text  string  `json:"text"`
+}
+
+func toVioJSON(v core.Violation) vioJSON {
+	m := make([]int32, len(v.Match))
+	for i, id := range v.Match {
+		m[i] = int32(id)
+	}
+	return vioJSON{Key: v.Key(), Rule: v.Rule.Name, Match: m, Text: v.String()}
+}
+
+// updateRequest is the body of POST /update.
+type updateRequest struct {
+	Ops []UpdateOp `json:"ops"`
+}
+
+// Handler returns the HTTP API:
+//
+//	GET  /healthz              liveness + current epoch
+//	GET  /violations           the live store (query: limit, offset, rule)
+//	GET  /violations/{key}     one violation by canonical key
+//	GET  /stats                server + last-batch statistics
+//	POST /update               enqueue update ops ({"ops":[...]}; ?sync=1
+//	                           waits for the batch to commit)
+//
+// Every read is served from the atomically published snapshot: a reader
+// holds one consistent epoch for the whole request and is never blocked by
+// a commit in progress.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": s.Snapshot().Epoch})
+	})
+
+	mux.HandleFunc("GET /violations", func(w http.ResponseWriter, r *http.Request) {
+		sn := s.Snapshot()
+		vios := sn.Violations()
+		rule := r.URL.Query().Get("rule")
+		if rule != "" {
+			filtered := make([]core.Violation, 0, 64)
+			for _, v := range vios {
+				if v.Rule.Name == rule {
+					filtered = append(filtered, v)
+				}
+			}
+			vios = filtered
+		}
+		total := len(vios)
+		offset := intParam(r, "offset", 0)
+		if offset < 0 {
+			offset = 0
+		}
+		if offset > total {
+			offset = total
+		}
+		limit := intParam(r, "limit", 100)
+		// negative means "the rest"; the upper clamp also guards
+		// offset+limit overflow from absurd client-supplied values
+		if limit < 0 || limit > total-offset {
+			limit = total - offset
+		}
+		page := vios[offset : offset+limit]
+		out := make([]vioJSON, len(page))
+		for i, v := range page {
+			out[i] = toVioJSON(v)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"epoch":      sn.Epoch,
+			"total":      total,
+			"offset":     offset,
+			"returned":   len(out),
+			"violations": out,
+		})
+	})
+
+	mux.HandleFunc("GET /violations/{key}", func(w http.ResponseWriter, r *http.Request) {
+		sn := s.Snapshot()
+		v, ok := sn.Get(r.PathValue("key"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]any{
+				"error": "violation not found", "epoch": sn.Epoch,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"epoch": sn.Epoch, "violation": toVioJSON(v),
+		})
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
+		var req updateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+			return
+		}
+		done, err := s.Enqueue(req.Ops)
+		if err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error()})
+			return
+		}
+		if r.URL.Query().Get("sync") != "" {
+			<-done
+			writeJSON(w, http.StatusOK, map[string]any{
+				"committed": true, "ops": len(req.Ops), "epoch": s.Snapshot().Epoch,
+			})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"queued": true, "ops": len(req.Ops),
+		})
+	})
+
+	return mux
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

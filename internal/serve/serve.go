@@ -1,0 +1,326 @@
+// Package serve is the concurrency-safe serving layer over a detection
+// session: the deployment mode the incremental detectors exist for —
+// keeping Vio(Σ, G) live on an evolving graph while it is being queried.
+//
+// The concurrency model is single-writer / many-readers with snapshot
+// isolation:
+//
+//   - All mutation is serialized through one writer goroutine owning the
+//     session. Updates are enqueued asynchronously; whenever the writer
+//     commits, it first drains everything already queued and coalesces it
+//     into a single batch, so one Normalize pass and one incremental
+//     detection serve an entire burst.
+//   - Readers never touch the session or the graph. They load the current
+//     epoch's immutable session.Snapshot through an atomic pointer —
+//     wait-free, never blocked by a commit in progress, and always seeing
+//     a consistent (post-commit) violation store.
+//
+// On top of the Server sits an HTTP API (Handler): violation queries,
+// update ingestion, stats and health — see cmd/ngdserve.
+package serve
+
+import (
+	"errors"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"ngd/internal/graph"
+	"ngd/internal/session"
+)
+
+// Options configure a Server.
+type Options struct {
+	// QueueDepth bounds the ingest queue (default 256). Enqueue applies
+	// backpressure — blocks — once this many update requests are pending.
+	QueueDepth int
+	// Names maps external (textual) node ids to NodeIDs, e.g. the mapping
+	// returned by dsl.LoadGraph. Update ops may also reference any node by
+	// its numeric id; ops introducing new nodes register their ids here.
+	// The map is owned by the Server's writer after New.
+	Names map[string]graph.NodeID
+}
+
+// UpdateOp is one ingested operation, the wire format of POST /update.
+type UpdateOp struct {
+	// Op is "insert" or "delete" (edge ops), or "node" (a new node
+	// arriving with its attribute tuple, before any of its edges).
+	Op string `json:"op"`
+	// Src and Dst reference nodes for edge ops: either an id registered in
+	// Options.Names (or by a previous "node" op), or a decimal NodeID.
+	Src string `json:"src,omitempty"`
+	Dst string `json:"dst,omitempty"`
+	// Label is the edge label (insert/delete) or node label (node).
+	Label string `json:"label"`
+	// ID is the external id a "node" op registers for the new node.
+	ID string `json:"id,omitempty"`
+	// Attrs is the attribute tuple of a "node" op. Numbers, strings and
+	// booleans are supported; integral floats are stored as integers.
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Stats is a point-in-time summary of a Server (GET /stats).
+type Stats struct {
+	Epoch      int   `json:"epoch"`       // commit epoch of the published snapshot
+	StoreSize  int   `json:"store_size"`  // |Vio(Σ, G)| at that epoch
+	Nodes      int   `json:"nodes"`       // |V| at that epoch
+	Edges      int   `json:"edges"`       // |E| at that epoch
+	Commits    int64 `json:"commits"`     // batches committed
+	Enqueued   int64 `json:"enqueued"`    // update requests accepted
+	Coalesced  int64 `json:"coalesced"`   // requests merged into another request's batch
+	DroppedOps int64 `json:"dropped_ops"` // ops skipped (unknown node, bad label, duplicate node id)
+	Queued     int64 `json:"queued"`      // requests currently waiting for the writer
+
+	// LastBatch reports what the most recent commit did (nil before the
+	// first commit).
+	LastBatch *session.BatchStats `json:"last_batch,omitempty"`
+}
+
+// ingest is one queued update request; done (optional) is closed once the
+// request's batch has committed.
+type ingest struct {
+	ops  []UpdateOp
+	done chan struct{}
+}
+
+// Server owns a session and serves snapshot-isolated reads while updates
+// stream in. Create with New, stop with Close.
+type Server struct {
+	sess  *session.Session
+	names map[string]graph.NodeID // writer-owned after New
+	in    chan ingest
+	snap  atomic.Pointer[session.Snapshot]
+
+	mu     sync.Mutex // guards closed
+	closed bool
+	done   chan struct{} // writer exited
+
+	enqueued   atomic.Int64
+	commits    atomic.Int64
+	coalesced  atomic.Int64
+	droppedOps atomic.Int64
+	queued     atomic.Int64
+	lastBatch  atomic.Pointer[session.BatchStats]
+}
+
+// ErrClosed is returned by Enqueue after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// New starts the serving layer over an opened session. The session (and
+// its graph) must not be touched by anyone else afterwards; the Server's
+// writer goroutine is its sole owner.
+func New(sess *session.Session, opts Options) *Server {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 256
+	}
+	if opts.Names == nil {
+		opts.Names = make(map[string]graph.NodeID)
+	}
+	s := &Server{
+		sess:  sess,
+		names: opts.Names,
+		in:    make(chan ingest, opts.QueueDepth),
+		done:  make(chan struct{}),
+	}
+	s.snap.Store(sess.Snapshot())
+	go s.writer()
+	return s
+}
+
+// Snapshot returns the current epoch's immutable view. Wait-free; safe
+// from any goroutine; never blocked by an in-flight commit.
+func (s *Server) Snapshot() *session.Snapshot {
+	return s.snap.Load()
+}
+
+// Stats summarizes the server.
+func (s *Server) Stats() Stats {
+	sn := s.Snapshot()
+	return Stats{
+		Epoch:      sn.Epoch,
+		StoreSize:  sn.Len(),
+		Nodes:      sn.Nodes,
+		Edges:      sn.Edges,
+		Commits:    s.commits.Load(),
+		Enqueued:   s.enqueued.Load(),
+		Coalesced:  s.coalesced.Load(),
+		DroppedOps: s.droppedOps.Load(),
+		Queued:     s.queued.Load(),
+		LastBatch:  s.lastBatch.Load(),
+	}
+}
+
+// Enqueue queues update ops for the writer. It returns a channel that is
+// closed once the ops' batch has committed (callers that don't care simply
+// drop it). Blocks only when the ingest queue is full (backpressure).
+func (s *Server) Enqueue(ops []UpdateOp) (<-chan struct{}, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	ing := ingest{ops: ops, done: make(chan struct{})}
+	s.enqueued.Add(1)
+	s.queued.Add(1)
+	s.in <- ing
+	s.mu.Unlock()
+	return ing.done, nil
+}
+
+// Flush blocks until every update queued before the call has committed.
+func (s *Server) Flush() error {
+	done, err := s.Enqueue(nil)
+	if err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// Close stops the writer after it drains the queue. Reads keep working
+// against the final snapshot; Enqueue fails with ErrClosed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.closed = true
+	close(s.in)
+	s.mu.Unlock()
+	<-s.done
+}
+
+// writer is the single mutating goroutine: drain, coalesce, materialize,
+// commit, publish.
+func (s *Server) writer() {
+	defer close(s.done)
+	for ing := range s.in {
+		batch := []ingest{ing}
+		// coalesce the whole burst already queued: one Normalize pass and
+		// one incremental detection for all of it
+	coalesce:
+		for {
+			select {
+			case more, ok := <-s.in:
+				if !ok {
+					break coalesce
+				}
+				batch = append(batch, more)
+				s.coalesced.Add(1)
+			default:
+				break coalesce
+			}
+		}
+		s.commitBatch(batch)
+	}
+}
+
+// commitBatch materializes the queued ops into node arrivals plus one ΔG,
+// commits through the session, and publishes the next epoch's snapshot.
+func (s *Server) commitBatch(batch []ingest) {
+	g := s.sess.Graph()
+	delta := &graph.Delta{}
+	for _, ing := range batch {
+		for _, op := range ing.ops {
+			switch op.Op {
+			case "node":
+				s.applyNode(g, op)
+			case "insert", "delete":
+				src, okS := s.resolve(op.Src)
+				dst, okD := s.resolve(op.Dst)
+				if !okS || !okD {
+					s.droppedOps.Add(1)
+					continue
+				}
+				if op.Op == "insert" {
+					delta.Insert(src, dst, g.Symbols().Label(op.Label))
+				} else {
+					l := g.Symbols().LookupLabel(op.Label)
+					if l == graph.NoLabel {
+						s.droppedOps.Add(1) // label never seen: edge cannot exist
+						continue
+					}
+					delta.Delete(src, dst, l)
+				}
+			default:
+				s.droppedOps.Add(1)
+			}
+		}
+	}
+
+	st := s.sess.Commit(delta)
+	s.commits.Add(1)
+	s.lastBatch.Store(&st)
+	s.snap.Store(s.sess.Snapshot())
+
+	for _, ing := range batch {
+		s.queued.Add(-1)
+		if ing.done != nil {
+			close(ing.done)
+		}
+	}
+}
+
+// applyNode handles a "node" op: a *new* entity arriving with its
+// attribute star. Re-registering an existing id is dropped — mutating the
+// attributes of a node the store has already seen would silently break the
+// store ≡ Dect(Σ, G) invariant (unit updates are edge-only, paper §5.2).
+func (s *Server) applyNode(g *graph.Graph, op UpdateOp) {
+	if op.ID == "" {
+		s.droppedOps.Add(1)
+		return
+	}
+	if _, exists := s.names[op.ID]; exists {
+		s.droppedOps.Add(1)
+		return
+	}
+	if _, err := strconv.Atoi(op.ID); err == nil {
+		s.droppedOps.Add(1) // numeric ids are reserved for raw NodeIDs
+		return
+	}
+	v := g.AddNode(op.Label)
+	s.names[op.ID] = v
+	for name, raw := range op.Attrs {
+		if val, ok := toValue(raw); ok {
+			g.SetAttr(v, name, val)
+		} else {
+			s.droppedOps.Add(1)
+		}
+	}
+}
+
+// resolve maps an external node reference — a registered name or a decimal
+// NodeID — to a node of the graph.
+func (s *Server) resolve(ref string) (graph.NodeID, bool) {
+	if v, ok := s.names[ref]; ok {
+		return v, true
+	}
+	n, err := strconv.Atoi(ref)
+	if err != nil || n < 0 || n >= s.sess.Graph().NumNodes() {
+		return 0, false
+	}
+	return graph.NodeID(n), true
+}
+
+// toValue converts a JSON-decoded attribute value.
+func toValue(raw any) (graph.Value, bool) {
+	switch v := raw.(type) {
+	case string:
+		return graph.Str(v), true
+	case bool:
+		return graph.Bool(v), true
+	case float64:
+		if v == float64(int64(v)) {
+			return graph.Int(int64(v)), true
+		}
+		return graph.Float(v), true
+	case int:
+		return graph.Int(int64(v)), true
+	case int64:
+		return graph.Int(v), true
+	default:
+		return graph.Value{}, false
+	}
+}

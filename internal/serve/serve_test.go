@@ -1,0 +1,343 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ngd/internal/core"
+	"ngd/internal/expr"
+	"ngd/internal/gen"
+	"ngd/internal/graph"
+	"ngd/internal/pattern"
+	"ngd/internal/serve"
+	"ngd/internal/session"
+	"ngd/internal/update"
+)
+
+// ageRule: x -knows-> y requires x.age ≤ y.age (violated when an older
+// node knows a younger one).
+func ageRule() *core.NGD {
+	q := pattern.New()
+	x := q.AddNode("x", "person")
+	y := q.AddNode("y", "person")
+	q.AddEdge(x, y, "knows")
+	return core.MustNew("age-order", q, nil, []core.Literal{
+		core.Lit(expr.V("x", "age"), expr.Le, expr.V("y", "age")),
+	})
+}
+
+// tinyWorld: two persons with one violating edge.
+func tinyWorld(t *testing.T) (*session.Session, map[string]graph.NodeID) {
+	t.Helper()
+	g := graph.New()
+	names := map[string]graph.NodeID{}
+	a := g.AddNode("person")
+	g.SetAttr(a, "age", graph.Int(30))
+	names["alice"] = a
+	b := g.AddNode("person")
+	g.SetAttr(b, "age", graph.Int(20))
+	names["bob"] = b
+	g.AddEdge(a, b, "knows") // 30 > 20: violation
+	return session.New(g, core.NewSet(ageRule()), session.Options{}), names
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", path, err)
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, srv *httptest.Server, path string, body any, out any) int {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("POST %s: decode %q: %v", path, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	sess, names := tinyWorld(t)
+	s := serve.New(sess, serve.Options{Names: names})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var health struct {
+		OK    bool `json:"ok"`
+		Epoch int  `json:"epoch"`
+	}
+	if code := getJSON(t, srv, "/healthz", &health); code != 200 || !health.OK {
+		t.Fatalf("healthz: code %d, %+v", code, health)
+	}
+
+	var list struct {
+		Epoch      int `json:"epoch"`
+		Total      int `json:"total"`
+		Violations []struct {
+			Key  string `json:"key"`
+			Rule string `json:"rule"`
+		} `json:"violations"`
+	}
+	if code := getJSON(t, srv, "/violations", &list); code != 200 {
+		t.Fatalf("violations: code %d", code)
+	}
+	if list.Total != 1 || len(list.Violations) != 1 || list.Violations[0].Rule != "age-order" {
+		t.Fatalf("violations: %+v", list)
+	}
+
+	// keyed lookup
+	var one struct {
+		Violation struct {
+			Key string `json:"key"`
+		} `json:"violation"`
+	}
+	key := list.Violations[0].Key
+	if code := getJSON(t, srv, "/violations/"+key, &one); code != 200 || one.Violation.Key != key {
+		t.Fatalf("violations/%s: code %d, %+v", key, code, one)
+	}
+	var missing map[string]any
+	if code := getJSON(t, srv, "/violations/no-such:9", &missing); code != 404 {
+		t.Fatalf("missing key: code %d", code)
+	}
+
+	// hostile paging params must clamp, not panic the handler
+	for _, q := range []string{
+		"?offset=-5", "?limit=-3", "?offset=1&limit=9223372036854775807",
+		"?offset=999999", "?offset=-9223372036854775808&limit=-1",
+	} {
+		var page struct {
+			Returned int `json:"returned"`
+		}
+		if code := getJSON(t, srv, "/violations"+q, &page); code != 200 {
+			t.Fatalf("violations%s: code %d", q, code)
+		}
+	}
+
+	// a new node arriving with attributes plus a violating edge, committed
+	// synchronously
+	var committed struct {
+		Committed bool `json:"committed"`
+		Epoch     int  `json:"epoch"`
+	}
+	code := postJSON(t, srv, "/update?sync=1", map[string]any{
+		"ops": []map[string]any{
+			{"op": "node", "id": "carol", "label": "person", "attrs": map[string]any{"age": 10}},
+			{"op": "insert", "src": "bob", "dst": "carol", "label": "knows"},
+		},
+	}, &committed)
+	if code != 200 || !committed.Committed || committed.Epoch != 1 {
+		t.Fatalf("update sync: code %d, %+v", code, committed)
+	}
+	if code := getJSON(t, srv, "/violations", &list); code != 200 {
+		t.Fatalf("violations after update: code %d", code)
+	}
+	if list.Total != 2 || list.Epoch != 1 {
+		t.Fatalf("after update: total %d epoch %d, want 2 at epoch 1", list.Total, list.Epoch)
+	}
+
+	// deleting the original violating edge removes its violation
+	code = postJSON(t, srv, "/update?sync=1", map[string]any{
+		"ops": []map[string]any{
+			{"op": "delete", "src": "alice", "dst": "bob", "label": "knows"},
+		},
+	}, &committed)
+	if code != 200 {
+		t.Fatalf("delete: code %d", code)
+	}
+	if getJSON(t, srv, "/violations", &list); list.Total != 1 {
+		t.Fatalf("after delete: total %d, want 1", list.Total)
+	}
+
+	var st serve.Stats
+	if code := getJSON(t, srv, "/stats", &st); code != 200 {
+		t.Fatalf("stats: code %d", code)
+	}
+	if st.Epoch != 2 || st.StoreSize != 1 || st.Commits != 2 || st.LastBatch == nil {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// malformed body
+	resp, err := srv.Client().Post(srv.URL+"/update", "application/json",
+		bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("malformed update: code %d", resp.StatusCode)
+	}
+
+	// invariant audit once the writer is quiet
+	s.Close()
+	if err := sess.Recheck(); err != nil {
+		t.Fatalf("store invariant: %v", err)
+	}
+}
+
+func TestDroppedOps(t *testing.T) {
+	sess, names := tinyWorld(t)
+	s := serve.New(sess, serve.Options{Names: names})
+	defer s.Close()
+
+	done, err := s.Enqueue([]serve.UpdateOp{
+		{Op: "insert", Src: "alice", Dst: "nobody", Label: "knows"},   // unknown dst
+		{Op: "delete", Src: "alice", Dst: "bob", Label: "never-seen"}, // unknown label
+		{Op: "node", ID: "alice", Label: "person"},                    // duplicate id
+		{Op: "node", ID: "42", Label: "person"},                       // numeric id reserved
+		{Op: "frobnicate"},                                            // unknown op
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if got := s.Stats().DroppedOps; got != 5 {
+		t.Errorf("DroppedOps = %d, want 5", got)
+	}
+	if s.Snapshot().Len() != 1 {
+		t.Errorf("store changed by dropped ops")
+	}
+}
+
+// TestConcurrentReadersNeverBlockedByCommits is the serving-layer race
+// test: many readers hammer the snapshot and the HTTP API while the writer
+// streams commits. Run under -race in CI. Readers assert epoch
+// monotonicity and per-snapshot consistency; afterwards the store must
+// still equal Dect(Σ, G).
+func TestConcurrentReadersNeverBlockedByCommits(t *testing.T) {
+	profile := gen.YAGO2
+	ds := gen.Generate(profile, 200, 5)
+	rules := gen.Rules(profile, gen.RuleConfig{Count: 8, MaxDiameter: 4, Seed: 5})
+
+	// pre-generate the update stream: update.Random mutates the graph
+	// (node arrivals), which is only safe before the server's writer owns it
+	const batches = 6
+	deltas := make([]*graph.Delta, batches)
+	for b := range deltas {
+		deltas[b] = update.Random(ds, update.Config{
+			Size: update.SizeFor(ds.G, 0.05), Gamma: 1, Seed: int64(500 + b),
+		})
+	}
+	toOps := func(d *graph.Delta) []serve.UpdateOp {
+		ops := make([]serve.UpdateOp, len(d.Ops))
+		for i, op := range d.Ops {
+			kind := "delete"
+			if op.Insert {
+				kind = "insert"
+			}
+			ops[i] = serve.UpdateOp{
+				Op:    kind,
+				Src:   fmt.Sprint(int(op.Src)),
+				Dst:   fmt.Sprint(int(op.Dst)),
+				Label: ds.G.Symbols().LabelName(op.Label),
+			}
+		}
+		return ops
+	}
+
+	sess := session.New(ds.G, rules, session.Options{})
+	s := serve.New(sess, serve.Options{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var stop atomic.Bool
+	var readErr atomic.Value
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(viaHTTP bool) {
+			defer wg.Done()
+			lastEpoch := -1
+			for !stop.Load() {
+				if viaHTTP {
+					resp, err := srv.Client().Get(srv.URL + "/violations?limit=5")
+					if err != nil {
+						readErr.Store(fmt.Errorf("GET /violations: %w", err))
+						return
+					}
+					var page struct {
+						Epoch int `json:"epoch"`
+					}
+					err = json.NewDecoder(resp.Body).Decode(&page)
+					resp.Body.Close()
+					if err != nil {
+						readErr.Store(fmt.Errorf("decode: %w", err))
+						return
+					}
+					if page.Epoch < lastEpoch {
+						readErr.Store(fmt.Errorf("epoch went backwards: %d -> %d", lastEpoch, page.Epoch))
+						return
+					}
+					lastEpoch = page.Epoch
+				} else {
+					sn := s.Snapshot()
+					if sn.Epoch < lastEpoch {
+						readErr.Store(fmt.Errorf("epoch went backwards: %d -> %d", lastEpoch, sn.Epoch))
+						return
+					}
+					lastEpoch = sn.Epoch
+					vios := sn.Violations()
+					if len(vios) != sn.Len() {
+						readErr.Store(fmt.Errorf("snapshot inconsistent: %d != %d", len(vios), sn.Len()))
+						return
+					}
+					if len(vios) > 0 {
+						if _, ok := sn.Get(vios[0].Key()); !ok {
+							readErr.Store(fmt.Errorf("snapshot index missing first violation"))
+							return
+						}
+					}
+				}
+				reads.Add(1)
+			}
+		}(r%2 == 0)
+	}
+
+	for _, d := range deltas {
+		if _, err := s.Enqueue(toOps(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	wg.Wait()
+	s.Close()
+
+	if err, ok := readErr.Load().(error); ok && err != nil {
+		t.Fatal(err)
+	}
+	if s.Snapshot().Epoch == 0 {
+		t.Fatal("no commits observed")
+	}
+	if reads.Load() == 0 {
+		t.Fatal("readers made no progress")
+	}
+	if err := sess.Recheck(); err != nil {
+		t.Fatalf("store invariant after serving: %v", err)
+	}
+	t.Logf("%d reads across %d commits, final store %d", reads.Load(), s.Stats().Commits, s.Snapshot().Len())
+}

@@ -36,6 +36,7 @@ import (
 	"ngd/internal/inc"
 	"ngd/internal/match"
 	"ngd/internal/par"
+	"ngd/internal/partition"
 )
 
 // Options configure a detection session.
@@ -75,6 +76,11 @@ type BatchStats struct {
 	Absorbed int
 	// Pivots is the number of update pivots expanded (sequential route only).
 	Pivots int
+	// PartPlaced / PartMoved report the incremental partition maintenance
+	// done by this commit (parallel route only): nodes newly placed by
+	// Extend and nodes relocated by the churn-driven Refine pass. The
+	// partition is never rebuilt from scratch.
+	PartPlaced, PartMoved int
 	// Cost is the batch's deterministic detection cost: work units
 	// (candidates + checks) under IncDect, simulated makespan under PIncDect.
 	Cost float64
@@ -87,6 +93,9 @@ type BatchStats struct {
 // A Session is not safe for concurrent use; Commit mutates the owned graph.
 // Between commits the graph may gain nodes (with attributes) externally,
 // but edge mutations must go through Commit or the store invariant breaks.
+// Concurrent *serving* is layered on top via Snapshot: the single writer
+// commits and publishes immutable epoch snapshots that readers consume
+// without any locking (see internal/serve for the HTTP daemon doing this).
 type Session struct {
 	g     *graph.Graph
 	rules *core.Set
@@ -100,8 +109,50 @@ type Session struct {
 	edgeRules *core.Set
 	isoRules  []isoRule
 
+	// part is the maintained partition the parallel route distributes seed
+	// pivots with: built once at first parallel use, then kept current
+	// with Extend (new nodes) and Refine (churn) on every Commit — never
+	// rebuilt over the full graph.
+	part *partition.Partition
+
+	// snap caches the immutable snapshot of the current epoch; invalidated
+	// by Commit and rebuilt lazily on the next Snapshot call.
+	snap *Snapshot
+
 	seenNodes int
 	commits   int
+}
+
+// Snapshot is an immutable, consistent view of a session at one commit
+// epoch: the violation store sorted by canonical key, plus the graph size
+// at capture. Snapshots are copy-on-write — a Commit builds the next epoch
+// without touching published ones — so any number of concurrent readers
+// can serve from a Snapshot while the session commits (internal/serve
+// relies on this for snapshot-isolated reads).
+type Snapshot struct {
+	// Epoch is the commit count at capture (0 = the seeded store).
+	Epoch int
+	// Nodes and Edges are |V| and |E| at capture.
+	Nodes, Edges int
+
+	vios  []core.Violation
+	index map[string]int
+}
+
+// Len reports |Vio(Σ, G)| at the snapshot's epoch.
+func (sn *Snapshot) Len() int { return len(sn.vios) }
+
+// Violations returns the snapshot's violations sorted by canonical key.
+// The slice is shared and must be treated as read-only.
+func (sn *Snapshot) Violations() []core.Violation { return sn.vios }
+
+// Get looks up a violation by its canonical key.
+func (sn *Snapshot) Get(key string) (core.Violation, bool) {
+	i, ok := sn.index[key]
+	if !ok {
+		return core.Violation{}, false
+	}
+	return sn.vios[i], true
 }
 
 // isoRule is a rule whose pattern has isolated nodes (no incident pattern
@@ -156,6 +207,8 @@ func New(g *graph.Graph, rules *core.Set, opts Options) *Session {
 
 // parOpts resolves the session's parallel-engine options: an untouched
 // zero value means the full hybrid strategy at the default worker count.
+// The session's maintained partition is threaded through so PIncDect never
+// rebuilds one.
 func (s *Session) parOpts() par.Options {
 	o := s.opts.Par
 	if o.P == 0 && !o.SplitUnits && !o.Balance && !o.Real {
@@ -164,7 +217,19 @@ func (s *Session) parOpts() par.Options {
 	o.NoPruning = o.NoPruning || s.opts.NoPruning
 	o.AssumeNormalized = true
 	o.Limit = 0
+	o.Part = s.part
 	return o
+}
+
+// ensurePartition builds the maintained partition on first parallel use
+// (the one full-graph pass it ever pays) and extends it over nodes that
+// arrived since. It returns how many nodes Extend placed.
+func (s *Session) ensurePartition(p int) int {
+	if s.part == nil {
+		s.part = partition.Greedy(s.g, p)
+		return 0
+	}
+	return s.part.Extend(s.g)
 }
 
 // SetParallel flips batch routing between IncDect and PIncDect for
@@ -191,25 +256,51 @@ func (s *Session) Has(key string) bool {
 	return ok
 }
 
-// Violations returns the live store sorted by canonical key.
+// Violations returns the live store sorted by canonical key. The slice is
+// the caller's to keep.
 func (s *Session) Violations() []core.Violation {
+	return append([]core.Violation(nil), s.Snapshot().Violations()...)
+}
+
+// Snapshot returns the immutable view of the current epoch, building it on
+// first access after a commit (copy-on-write: published snapshots are
+// never mutated). The session's single-writer contract still holds —
+// Snapshot must be called from the same goroutine as Commit — but the
+// *returned* snapshot may be handed to any number of concurrent readers.
+func (s *Session) Snapshot() *Snapshot {
+	if s.snap != nil {
+		return s.snap
+	}
+	sn := &Snapshot{
+		Epoch: s.commits,
+		Nodes: s.g.NumNodes(),
+		Edges: s.g.NumEdges(),
+		vios:  make([]core.Violation, 0, len(s.store)),
+		index: make(map[string]int, len(s.store)),
+	}
 	keys := make([]string, 0, len(s.store))
 	for k := range s.store {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	out := make([]core.Violation, len(keys))
-	for i, k := range keys {
-		out[i] = s.store[k]
+	for _, k := range keys {
+		sn.index[k] = len(sn.vios)
+		sn.vios = append(sn.vios, s.store[k])
 	}
-	return out
+	s.snap = sn
+	return sn
 }
+
+// Partition exposes the maintained partition (nil until the first parallel
+// commit builds it).
+func (s *Session) Partition() *partition.Partition { return s.part }
 
 // Commit coalesces ΔG, computes ΔVio against the pre-commit graph with the
 // routed incremental detector, commits ΔG into G in place, and reconciles
 // the store. A nil or empty delta still absorbs externally arrived nodes.
 func (s *Session) Commit(d *graph.Delta) BatchStats {
 	s.commits++
+	s.snap = nil // next Snapshot() captures the new epoch
 	st := BatchStats{Batch: s.commits}
 	if d == nil {
 		d = &graph.Delta{}
@@ -229,6 +320,10 @@ func (s *Session) Commit(d *graph.Delta) BatchStats {
 	if norm.Len() > 0 {
 		var plus, minus []core.Violation
 		if s.opts.Parallel {
+			// maintain the owned partition instead of letting PIncDect
+			// rebuild one: place nodes that arrived since the last commit,
+			// then hand it through parOpts
+			st.PartPlaced = s.ensurePartition(s.parOpts().Defaults().P)
 			r := par.PIncDect(s.g, s.edgeRules, norm, s.parOpts())
 			plus, minus = r.Delta.Plus, r.Delta.Minus
 			st.Cost = r.Metrics.Makespan
@@ -253,6 +348,13 @@ func (s *Session) Commit(d *graph.Delta) BatchStats {
 	// commit ΔG into G
 	ap := s.g.Apply(norm)
 	st.Inserted, st.Deleted, st.Compacted = ap.Inserted, ap.Deleted, ap.Compacted
+
+	// churn-driven local refinement keeps the maintained partition's cut
+	// quality from decaying as the graph evolves; cost ∝ |ΔG| degrees,
+	// never a rebuild
+	if s.part != nil {
+		st.PartMoved = s.part.Refine(s.g, norm.TouchedNodes())
+	}
 	st.StoreSize = len(s.store)
 	return st
 }

@@ -1,0 +1,102 @@
+package session_test
+
+import (
+	"testing"
+
+	"ngd/internal/gen"
+	"ngd/internal/par"
+	"ngd/internal/session"
+	"ngd/internal/update"
+)
+
+// TestSnapshotIsolation: a snapshot taken before a commit must be
+// untouched by it — same epoch, same violations — while the post-commit
+// snapshot reflects the new store.
+func TestSnapshotIsolation(t *testing.T) {
+	ds, rules := mkStreamWorkload(t, gen.YAGO2, 200, 8, 21)
+	s := session.New(ds.G, rules, session.Options{})
+
+	before := s.Snapshot()
+	if before.Epoch != 0 {
+		t.Fatalf("seed snapshot epoch %d, want 0", before.Epoch)
+	}
+	if before.Len() != s.Len() {
+		t.Fatalf("seed snapshot len %d != store %d", before.Len(), s.Len())
+	}
+	beforeKeys := make([]string, before.Len())
+	for i, v := range before.Violations() {
+		beforeKeys[i] = v.Key()
+	}
+
+	d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.1), Gamma: 1, Seed: 22})
+	st := s.Commit(d)
+
+	// the old epoch is immutable
+	if before.Epoch != 0 || before.Len() != len(beforeKeys) {
+		t.Fatal("published snapshot mutated by Commit")
+	}
+	for i, v := range before.Violations() {
+		if v.Key() != beforeKeys[i] {
+			t.Fatalf("snapshot violation %d changed after Commit", i)
+		}
+	}
+
+	after := s.Snapshot()
+	if after.Epoch != 1 {
+		t.Fatalf("post-commit snapshot epoch %d, want 1", after.Epoch)
+	}
+	if after.Len() != st.StoreSize {
+		t.Fatalf("post-commit snapshot len %d != StoreSize %d", after.Len(), st.StoreSize)
+	}
+	// cached until the next commit
+	if s.Snapshot() != after {
+		t.Error("repeated Snapshot() rebuilt the same epoch")
+	}
+	// keyed lookup agrees with the store
+	for _, v := range after.Violations() {
+		got, ok := after.Get(v.Key())
+		if !ok || got.Key() != v.Key() {
+			t.Fatalf("snapshot Get(%q) missing", v.Key())
+		}
+	}
+	if _, ok := after.Get("no-such-violation:0"); ok {
+		t.Error("snapshot Get returned a violation for a bogus key")
+	}
+}
+
+// TestSessionMaintainsPartition: the parallel route builds the partition
+// once and then maintains it — every committed node ends up placed, loads
+// stay consistent, and the store invariant holds throughout.
+func TestSessionMaintainsPartition(t *testing.T) {
+	ds, rules := mkStreamWorkload(t, gen.Pokec, 250, 8, 31)
+	s := session.New(ds.G, rules, session.Options{Parallel: true, Par: par.Hybrid(6)})
+
+	if s.Partition() != nil {
+		t.Fatal("partition built before any parallel commit")
+	}
+	for b := 0; b < 4; b++ {
+		d := update.Random(ds, update.Config{
+			Size: update.SizeFor(ds.G, 0.08), Gamma: 1, Seed: int64(300 + b),
+		})
+		s.Commit(d)
+		if err := s.Recheck(); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		pt := s.Partition()
+		if pt == nil {
+			t.Fatal("no maintained partition after parallel commit")
+		}
+		// update.Random adds arriving nodes to g before Commit, and Commit
+		// extends the partition before detection, so placement is complete
+		if pt.Placed() != ds.G.NumNodes() {
+			t.Fatalf("batch %d: partition placed %d of %d nodes", b, pt.Placed(), ds.G.NumNodes())
+		}
+		total := 0
+		for _, l := range pt.Loads() {
+			total += l
+		}
+		if total != pt.Placed() {
+			t.Fatalf("batch %d: loads sum %d != placed %d", b, total, pt.Placed())
+		}
+	}
+}

@@ -14,6 +14,9 @@
 //     detection with hybrid workload balancing (PIncDect);
 //   - continuous detection sessions that commit ΔG in place and keep the
 //     violation store live across batches (NewSession);
+//   - a serving layer over sessions (Serve): snapshot-isolated concurrent
+//     reads, coalescing asynchronous update ingestion, and an HTTP API
+//     (the ngdserve daemon);
 //   - the static analyses: satisfiability, strong satisfiability and
 //     implication, with exact integer arithmetic;
 //   - workload generators reproducing the paper's evaluation setup.
@@ -39,8 +42,10 @@ import (
 	"ngd/internal/graph"
 	"ngd/internal/inc"
 	"ngd/internal/par"
+	"ngd/internal/partition"
 	"ngd/internal/pattern"
 	"ngd/internal/reason"
+	"ngd/internal/serve"
 	"ngd/internal/session"
 )
 
@@ -91,6 +96,28 @@ type (
 	// BatchStats report what one session commit did (coalescing, commit
 	// effects, ΔVio sizes, detection cost, store size).
 	BatchStats = session.BatchStats
+	// Snapshot is an immutable, consistent view of a session at one commit
+	// epoch: the violation store sorted by canonical key. Snapshots are
+	// copy-on-write, so concurrent readers are never blocked by a commit.
+	Snapshot = session.Snapshot
+	// Server is the concurrency-safe serving layer over a session: a
+	// single writer coalescing queued updates into commits, many readers
+	// on atomically published snapshots, and an HTTP API (internal/serve;
+	// cmd/ngdserve is the daemon around it).
+	Server = serve.Server
+	// ServeOptions configure a Server (ingest queue depth, external node
+	// ids).
+	ServeOptions = serve.Options
+	// ServerStats summarize a running Server (epoch, store size, commit
+	// and coalescing counters).
+	ServerStats = serve.Stats
+	// UpdateOp is the serving layer's wire-format update operation (edge
+	// insert/delete, or a new node arriving with attributes).
+	UpdateOp = serve.UpdateOp
+	// Partition assigns graph nodes to fragments for the parallel engine;
+	// a maintained Partition is kept current across session commits with
+	// incremental Extend/Refine passes instead of per-batch rebuilds.
+	Partition = partition.Partition
 )
 
 // Value constructors.
@@ -208,6 +235,16 @@ func Parallel(p int) ParallelOptions { return par.Hybrid(p) }
 // live store — which always equals Detect(g, rules).Violations.
 func NewSession(g *Graph, rules *RuleSet, opts SessionOptions) *Session {
 	return session.New(g, rules, opts)
+}
+
+// Serve starts the serving layer over a session: a writer goroutine that
+// owns the session, coalesces queued updates into single commits, and
+// atomically publishes immutable store snapshots for lock-free concurrent
+// reads. Wire it to HTTP with Server.Handler, push updates with
+// Server.Enqueue, read with Server.Snapshot, stop with Server.Close. The
+// session (and its graph) must not be used directly afterwards.
+func Serve(sess *Session, opts ServeOptions) *Server {
+	return serve.New(sess, opts)
 }
 
 // Verdict is the three-valued answer of the static analyses.

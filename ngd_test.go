@@ -191,3 +191,53 @@ func TestPublicAPISession(t *testing.T) {
 		t.Fatalf("graph still violates after in-place commit: %d", len(got.Violations))
 	}
 }
+
+func TestPublicAPIServe(t *testing.T) {
+	g := ngd.NewGraph()
+	buildArea(g, 600, 722, 1322) // consistent
+	buildArea(g, 600, 722, 1572) // violating
+	rules, err := ngd.ParseRules(strings.NewReader(quickRules))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := ngd.NewSession(g, rules, ngd.SessionOptions{})
+	srv := ngd.Serve(sess, ngd.ServeOptions{})
+	defer srv.Close()
+
+	sn := srv.Snapshot()
+	if sn.Epoch != 0 || sn.Len() != 1 {
+		t.Fatalf("seed snapshot: epoch %d, %d violations; want 0, 1", sn.Epoch, sn.Len())
+	}
+	key := sn.Violations()[0].Key()
+	if _, ok := sn.Get(key); !ok {
+		t.Fatal("snapshot Get missed a listed violation")
+	}
+
+	// a third, violating area arrives through the ingest queue: a node
+	// star plus its edges, referencing nodes by registered and numeric ids
+	done, err := srv.Enqueue([]ngd.UpdateOp{
+		{Op: "node", ID: "area3", Label: "area"},
+		{Op: "node", ID: "f3", Label: "integer", Attrs: map[string]any{"val": 1}},
+		{Op: "node", ID: "m3", Label: "integer", Attrs: map[string]any{"val": 2}},
+		{Op: "node", ID: "t3", Label: "integer", Attrs: map[string]any{"val": 5}},
+		{Op: "insert", Src: "area3", Dst: "f3", Label: "female"},
+		{Op: "insert", Src: "area3", Dst: "m3", Label: "male"},
+		{Op: "insert", Src: "area3", Dst: "t3", Label: "total"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	sn2 := srv.Snapshot()
+	if sn2.Epoch != 1 || sn2.Len() != 2 {
+		t.Fatalf("post-commit snapshot: epoch %d, %d violations; want 1, 2", sn2.Epoch, sn2.Len())
+	}
+	// the old snapshot is untouched
+	if sn.Epoch != 0 || sn.Len() != 1 {
+		t.Fatal("published snapshot mutated by a commit")
+	}
+	if st := srv.Stats(); st.Commits != 1 || st.StoreSize != 2 {
+		t.Fatalf("server stats: %+v", st)
+	}
+}
