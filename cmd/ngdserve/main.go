@@ -20,9 +20,22 @@
 //
 //	ngdserve -gen yago2 -n 300 -k 12 -seed 1
 //
+// With -data the daemon is durable (internal/store): every committed batch
+// is write-ahead logged before it mutates the graph, the whole session
+// state is checkpointed into a binary snapshot every -checkpoint batches,
+// and a restart with the same -data directory recovers — snapshot load
+// plus WAL replay — to exactly the state of the process that died,
+// including after a SIGKILL mid-write (a torn final record is truncated
+// away). Once a data directory exists, -graph/-gen are no longer needed:
+// the rules and graph live in the snapshot.
+//
+//	ngdserve -gen yago2 -n 300 -data /var/lib/ngd   # first boot ingests
+//	ngdserve -data /var/lib/ngd                     # every later boot recovers
+//
 // Reads are never blocked by commits: every request is served from an
 // immutable copy-on-write snapshot of the violation store, atomically
-// swapped after each commit.
+// swapped after each commit. See docs/OPERATIONS.md for the full CLI and
+// file-format reference and the recovery runbook.
 package main
 
 import (
@@ -43,6 +56,7 @@ import (
 	"ngd/internal/par"
 	"ngd/internal/serve"
 	"ngd/internal/session"
+	"ngd/internal/store"
 )
 
 var (
@@ -56,6 +70,9 @@ var (
 	parallel  = flag.Bool("parallel", false, "route commits through PIncDect")
 	workers   = flag.Int("p", 8, "parallel workers (with -parallel)")
 	queue     = flag.Int("queue", 256, "ingest queue depth")
+	dataDir   = flag.String("data", "", "durable state directory (snapshot + write-ahead log); empty = in-memory only")
+	ckptEvery = flag.Int("checkpoint", 64, "with -data: batches between background checkpoints")
+	walNoSync = flag.Bool("wal-nosync", false, "with -data: skip the per-batch WAL fsync (faster; batches in the OS write-back window may be lost on crash)")
 )
 
 func main() {
@@ -63,21 +80,88 @@ func main() {
 	log.SetPrefix("ngdserve: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
-	g, rules, names, err := loadWorkload()
-	if err != nil {
-		log.Fatal(err)
+	sessOpts := session.Options{Parallel: *parallel, Par: par.Hybrid(*workers)}
+
+	var (
+		sess  *session.Session
+		rules *core.Set
+		names map[string]graph.NodeID
+		st    *store.Store
+	)
+
+	if *dataDir != "" {
+		var rec *store.Recovered
+		var err error
+		st, rec, err = store.Open(*dataDir, store.Options{
+			CheckpointEvery: *ckptEvery,
+			NoSync:          *walNoSync,
+			Session:         sessOpts,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rec != nil {
+			if *graphFile != "" || *genName != "" {
+				log.Printf("recovering from %s; ignoring -graph/-gen (the workload lives in the snapshot)", *dataDir)
+			}
+			sess, rules, names = rec.Session, rec.Rules, rec.Names
+			torn := ""
+			if rec.Truncated {
+				torn = ", torn tail truncated"
+			}
+			log.Printf("recovered seq %d: snapshot seq %d (%d bytes, %v) + %d batches replayed (%d bytes, %v)%s",
+				rec.Seq, rec.SnapshotSeq, rec.SnapshotBytes, rec.SnapshotLoad.Round(time.Millisecond),
+				rec.Replayed, rec.WALBytes, rec.WALReplay.Round(time.Millisecond), torn)
+		}
 	}
 
-	opened := time.Now()
-	sess := session.New(g, rules, session.Options{
-		Parallel: *parallel,
-		Par:      par.Hybrid(*workers),
-	})
-	log.Printf("session open: |V|=%d |E|=%d ‖Σ‖=%d, %d violations seeded in %v",
-		g.NumNodes(), g.NumEdges(), len(rules.Rules), sess.Len(),
-		time.Since(opened).Round(time.Millisecond))
+	if sess == nil {
+		g, rs, nm, err := loadWorkload()
+		if err != nil {
+			log.Fatal(err)
+		}
+		opened := time.Now()
+		sess = session.New(g, rs, sessOpts)
+		rules, names = rs, nm
+		log.Printf("session open: |V|=%d |E|=%d ‖Σ‖=%d, %d violations seeded in %v",
+			g.NumNodes(), g.NumEdges(), len(rules.Rules), sess.Len(),
+			time.Since(opened).Round(time.Millisecond))
+		if st != nil {
+			if names == nil {
+				names = make(map[string]graph.NodeID)
+			}
+			if err := st.Bootstrap(sess, rules, names); err != nil {
+				log.Fatalf("bootstrap %s: %v", *dataDir, err)
+			}
+			log.Printf("durable: bootstrapped %s (checkpoint every %d batches)", *dataDir, *ckptEvery)
+		}
+	}
 
-	srv := serve.New(sess, serve.Options{QueueDepth: *queue, Names: names})
+	srvOpts := serve.Options{QueueDepth: *queue, Names: names}
+	if st != nil {
+		srvOpts.OnNewNode = st.NoteName
+		srvOpts.DurabilityErr = st.Err
+		var lastHealth string // surface durability transitions, not every batch
+		srvOpts.AfterCommit = func(bs session.BatchStats) {
+			if bs.LogErr != nil {
+				log.Printf("WAL append failed for batch %d: %v (batch committed in memory, NOT durable)", bs.Batch, bs.LogErr)
+			}
+			st.MaybeCheckpoint()
+			health := ""
+			if err := st.Err(); err != nil {
+				health = err.Error()
+			}
+			if health != lastHealth {
+				if health != "" {
+					log.Printf("durability degraded: %s", health)
+				} else {
+					log.Printf("durability restored")
+				}
+				lastHealth = health
+			}
+		}
+	}
+	srv := serve.New(sess, srvOpts)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	go func() {
@@ -95,15 +179,32 @@ func main() {
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
 	srv.Close() // drain + commit anything still queued
-	st := srv.Stats()
+	if st != nil {
+		// final checkpoint: the next boot loads the snapshot and replays
+		// nothing. Safe here — the serving writer has exited, so this
+		// goroutine is the session's sole owner.
+		if err := st.Checkpoint(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		}
+		if err := st.Close(); err != nil {
+			log.Printf("store close: %v", err)
+		}
+		ss := st.Stats()
+		log.Printf("durable: seq %d, snapshot seq %d, %d batches logged (%d WAL bytes), %d checkpoints",
+			ss.Seq, ss.SnapshotSeq, ss.Batches, ss.WALBytes, ss.Checkpoints)
+	}
+	fst := srv.Stats()
 	log.Printf("final: epoch %d, %d violations, %d commits (%d requests coalesced)",
-		st.Epoch, st.StoreSize, st.Commits, st.Coalesced)
+		fst.Epoch, fst.StoreSize, fst.Commits, fst.Coalesced)
 }
 
 // loadWorkload resolves the graph, rules and external-id mapping from the
 // flags: files in the text DSL, or a generated dataset.
 func loadWorkload() (*graph.Graph, *core.Set, map[string]graph.NodeID, error) {
 	if (*graphFile == "") == (*genName == "") {
+		if *dataDir != "" {
+			return nil, nil, nil, fmt.Errorf("%s holds no recoverable state yet: exactly one of -graph or -gen is required for the first boot", *dataDir)
+		}
 		return nil, nil, nil, fmt.Errorf("exactly one of -graph or -gen is required")
 	}
 	if *graphFile != "" {

@@ -51,8 +51,11 @@ func LoadGraph(r io.Reader) (*graph.Graph, map[string]graph.NodeID, error) {
 			}
 			src, ok1 := ids[fields[1]]
 			dst, ok2 := ids[fields[3]]
-			if !ok1 || !ok2 {
-				return fmt.Errorf("line %d: edge references unknown node", line)
+			if !ok1 {
+				return fmt.Errorf("line %d: edge references unknown node %q", line, fields[1])
+			}
+			if !ok2 {
+				return fmt.Errorf("line %d: edge references unknown node %q", line, fields[3])
 			}
 			g.AddEdge(src, dst, fields[2])
 		default:
@@ -92,8 +95,11 @@ func LoadDelta(r io.Reader, g *graph.Graph, ids map[string]graph.NodeID) (*graph
 			}
 			src, ok1 := ids[fields[1]]
 			dst, ok2 := ids[fields[3]]
-			if !ok1 || !ok2 {
-				return fmt.Errorf("line %d: %s references unknown node", line, fields[0])
+			if !ok1 {
+				return fmt.Errorf("line %d: %s references unknown node %q", line, fields[0], fields[1])
+			}
+			if !ok2 {
+				return fmt.Errorf("line %d: %s references unknown node %q", line, fields[0], fields[3])
 			}
 			l := g.Symbols().Label(fields[2])
 			if fields[0] == "insert" {
@@ -158,7 +164,8 @@ func setAttr(g *graph.Graph, v graph.NodeID, kv string) error {
 
 // scanLines tokenizes non-empty, non-comment lines. Quoted strings in
 // attribute values survive because fields are split on spaces outside
-// quotes.
+// quotes. Every error — directive errors from fn and scanner failures
+// alike — carries the 1-based line number it arose on.
 func scanLines(r io.Reader, fn func(line int, fields []string) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
@@ -177,7 +184,12 @@ func scanLines(r io.Reader, fn func(line int, fields []string) error) error {
 			return fmt.Errorf("dsl: %w", err)
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		// the scanner failed on the line after the last one it delivered
+		// (e.g. a line longer than the buffer cap, or a read error)
+		return fmt.Errorf("dsl: line %d: %v", line+1, err)
+	}
+	return nil
 }
 
 // splitQuoted splits on whitespace, keeping double-quoted spans (with

@@ -107,6 +107,27 @@ func (s *Symbols) AttrName(id AttrID) string {
 // NumLabels reports the number of interned labels (including the wildcard).
 func (s *Symbols) NumLabels() int { return len(s.labels) }
 
+// NumAttrs reports the number of interned attribute names.
+func (s *Symbols) NumAttrs() int { return len(s.attrs) }
+
+// Clone returns a private copy of the symbol table: subsequent interning in
+// either copy does not affect the other.
+func (s *Symbols) Clone() *Symbols {
+	c := &Symbols{
+		labels:   append([]string(nil), s.labels...),
+		labelIDs: make(map[string]LabelID, len(s.labelIDs)),
+		attrs:    append([]string(nil), s.attrs...),
+		attrIDs:  make(map[string]AttrID, len(s.attrIDs)),
+	}
+	for k, v := range s.labelIDs {
+		c.labelIDs[k] = v
+	}
+	for k, v := range s.attrIDs {
+		c.attrIDs[k] = v
+	}
+	return c
+}
+
 type nodeData struct {
 	label LabelID
 	attrs map[AttrID]Value
@@ -396,6 +417,17 @@ func (g *Graph) Clone() *Graph {
 	for l, ns := range g.byLabel {
 		c.byLabel[l] = append([]NodeID(nil), ns...)
 	}
+	return c
+}
+
+// CloneDetached is Clone with a private copy of the symbol table. Use it to
+// hand a frozen copy of the graph to another goroutine (e.g. a background
+// snapshot encoder) while the original keeps interning new labels and
+// attributes — plain Clone shares the symbol table, so concurrent interning
+// would race with readers of the copy.
+func (g *Graph) CloneDetached() *Graph {
+	c := g.Clone()
+	c.syms = g.syms.Clone()
 	return c
 }
 

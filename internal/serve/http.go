@@ -120,9 +120,21 @@ func (s *Server) Handler() http.Handler {
 		}
 		if r.URL.Query().Get("sync") != "" {
 			<-done
-			writeJSON(w, http.StatusOK, map[string]any{
+			resp := map[string]any{
 				"committed": true, "ops": len(req.Ops), "epoch": s.Snapshot().Epoch,
-			})
+			}
+			// with a durability layer attached, tell the client whether a
+			// committed ack is also a persisted one — a latched WAL failure
+			// means the batch lives in memory only
+			if s.durabilityErr != nil {
+				if err := s.durabilityErr(); err != nil {
+					resp["durable"] = false
+					resp["durability_error"] = err.Error()
+				} else {
+					resp["durable"] = true
+				}
+			}
+			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, map[string]any{

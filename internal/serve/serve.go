@@ -39,6 +39,24 @@ type Options struct {
 	// its numeric id; ops introducing new nodes register their ids here.
 	// The map is owned by the Server's writer after New.
 	Names map[string]graph.NodeID
+	// OnNewNode, when set, is called from the writer goroutine immediately
+	// after a "node" op registers a new external id, with the id and the
+	// NodeID it was bound to. The durability layer (internal/store) uses it
+	// to record id bindings in the write-ahead log; the callback must not
+	// touch the Server.
+	OnNewNode func(id string, v graph.NodeID)
+	// AfterCommit, when set, is called from the writer goroutine after each
+	// commit with that batch's statistics — after the new snapshot is
+	// published but before the batch's waiters are released. cmd/ngdserve
+	// drives periodic store checkpoints (and surfaces WAL append errors)
+	// through it; the callback must not call Enqueue or Close.
+	AfterCommit func(session.BatchStats)
+	// DurabilityErr, when set, reports the durability layer's health (nil =
+	// healthy; wire it to store.(*Store).Err). It must be safe to call from
+	// any goroutine. Stats includes the result, and POST /update?sync=1
+	// responses carry a "durable" field, so clients can tell an in-memory
+	// ack from a persisted one.
+	DurabilityErr func() error
 }
 
 // UpdateOp is one ingested operation, the wire format of POST /update.
@@ -71,6 +89,10 @@ type Stats struct {
 	DroppedOps int64 `json:"dropped_ops"` // ops skipped (unknown node, bad label, duplicate node id)
 	Queued     int64 `json:"queued"`      // requests currently waiting for the writer
 
+	// DurabilityError is the durability layer's current failure ("" =
+	// healthy or no durability configured; see Options.DurabilityErr).
+	DurabilityError string `json:"durability_error,omitempty"`
+
 	// LastBatch reports what the most recent commit did (nil before the
 	// first commit).
 	LastBatch *session.BatchStats `json:"last_batch,omitempty"`
@@ -86,10 +108,13 @@ type ingest struct {
 // Server owns a session and serves snapshot-isolated reads while updates
 // stream in. Create with New, stop with Close.
 type Server struct {
-	sess  *session.Session
-	names map[string]graph.NodeID // writer-owned after New
-	in    chan ingest
-	snap  atomic.Pointer[session.Snapshot]
+	sess          *session.Session
+	names         map[string]graph.NodeID // writer-owned after New
+	onNewNode     func(string, graph.NodeID)
+	afterCommit   func(session.BatchStats)
+	durabilityErr func() error
+	in            chan ingest
+	snap          atomic.Pointer[session.Snapshot]
 
 	mu     sync.Mutex // guards closed
 	closed bool
@@ -117,10 +142,13 @@ func New(sess *session.Session, opts Options) *Server {
 		opts.Names = make(map[string]graph.NodeID)
 	}
 	s := &Server{
-		sess:  sess,
-		names: opts.Names,
-		in:    make(chan ingest, opts.QueueDepth),
-		done:  make(chan struct{}),
+		sess:          sess,
+		names:         opts.Names,
+		onNewNode:     opts.OnNewNode,
+		afterCommit:   opts.AfterCommit,
+		durabilityErr: opts.DurabilityErr,
+		in:            make(chan ingest, opts.QueueDepth),
+		done:          make(chan struct{}),
 	}
 	s.snap.Store(sess.Snapshot())
 	go s.writer()
@@ -136,17 +164,24 @@ func (s *Server) Snapshot() *session.Snapshot {
 // Stats summarizes the server.
 func (s *Server) Stats() Stats {
 	sn := s.Snapshot()
+	durability := ""
+	if s.durabilityErr != nil {
+		if err := s.durabilityErr(); err != nil {
+			durability = err.Error()
+		}
+	}
 	return Stats{
-		Epoch:      sn.Epoch,
-		StoreSize:  sn.Len(),
-		Nodes:      sn.Nodes,
-		Edges:      sn.Edges,
-		Commits:    s.commits.Load(),
-		Enqueued:   s.enqueued.Load(),
-		Coalesced:  s.coalesced.Load(),
-		DroppedOps: s.droppedOps.Load(),
-		Queued:     s.queued.Load(),
-		LastBatch:  s.lastBatch.Load(),
+		DurabilityError: durability,
+		Epoch:           sn.Epoch,
+		StoreSize:       sn.Len(),
+		Nodes:           sn.Nodes,
+		Edges:           sn.Edges,
+		Commits:         s.commits.Load(),
+		Enqueued:        s.enqueued.Load(),
+		Coalesced:       s.coalesced.Load(),
+		DroppedOps:      s.droppedOps.Load(),
+		Queued:          s.queued.Load(),
+		LastBatch:       s.lastBatch.Load(),
 	}
 }
 
@@ -254,6 +289,9 @@ func (s *Server) commitBatch(batch []ingest) {
 	s.commits.Add(1)
 	s.lastBatch.Store(&st)
 	s.snap.Store(s.sess.Snapshot())
+	if s.afterCommit != nil {
+		s.afterCommit(st)
+	}
 
 	for _, ing := range batch {
 		s.queued.Add(-1)
@@ -282,6 +320,9 @@ func (s *Server) applyNode(g *graph.Graph, op UpdateOp) {
 	}
 	v := g.AddNode(op.Label)
 	s.names[op.ID] = v
+	if s.onNewNode != nil {
+		s.onNewNode(op.ID, v)
+	}
 	for name, raw := range op.Attrs {
 		if val, ok := toValue(raw); ok {
 			g.SetAttr(v, name, val)

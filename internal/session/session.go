@@ -86,7 +86,20 @@ type BatchStats struct {
 	Cost float64
 	// StoreSize is |Vio(Σ, G)| after the commit.
 	StoreSize int
+	// LogErr is the error returned by the commit hook (write-ahead logging;
+	// see SetCommitHook), nil when no hook is installed or the append
+	// succeeded. The commit itself still completes: in-memory state stays
+	// consistent, only durability of this batch is in doubt.
+	LogErr error
 }
+
+// CommitHook observes every commit before it mutates the graph: it receives
+// the owned graph, the normalized ΔG about to be applied, and the half-open
+// range [newFrom, newTo) of nodes that arrived on the graph since the
+// previous commit (their labels and attributes are already set and readable
+// from g). internal/store installs its write-ahead log appender here, so a
+// batch is durable before the in-place Apply makes it visible.
+type CommitHook func(g *graph.Graph, norm *graph.Delta, newFrom, newTo graph.NodeID) error
 
 // Session is a continuous detection session over an owned graph.
 //
@@ -118,6 +131,10 @@ type Session struct {
 	// snap caches the immutable snapshot of the current epoch; invalidated
 	// by Commit and rebuilt lazily on the next Snapshot call.
 	snap *Snapshot
+
+	// hook, when set, logs each batch before the in-place Apply (write-ahead
+	// logging for durable serving; see SetCommitHook).
+	hook CommitHook
 
 	seenNodes int
 	commits   int
@@ -167,6 +184,39 @@ type isoRule struct {
 // New opens a session over g and rules, seeding the store with a full
 // batch detection run (Dect, or PDect under Options.Parallel).
 func New(g *graph.Graph, rules *core.Set, opts Options) *Session {
+	s := newSession(g, rules, opts)
+	var vios []core.Violation
+	if opts.Parallel {
+		vios = par.PDect(g, rules, s.parOpts()).Violations
+	} else {
+		vios = detect.Dect(g, rules, detect.Options{NoPruning: opts.NoPruning}).Violations
+	}
+	for _, v := range vios {
+		s.store[v.Key()] = v
+	}
+	return s
+}
+
+// Restore opens a session over g with a trusted, previously computed
+// violation store instead of paying a seeding detection run. It is the
+// recovery path of internal/store: the violations come from a snapshot
+// whose invariant (store ≡ Dect(Σ, G) at capture) was maintained by the
+// session that wrote it, so re-deriving them would be pure waste — this is
+// what makes recovery delta-proportional. Callers handing Restore anything
+// other than a faithfully persisted store get a session whose invariant is
+// broken from the start (Recheck will say so).
+func Restore(g *graph.Graph, rules *core.Set, vios []core.Violation, opts Options) *Session {
+	s := newSession(g, rules, opts)
+	for _, v := range vios {
+		s.store[v.Key()] = v
+	}
+	return s
+}
+
+// newSession builds the common session state: rule classification (edge
+// rules vs isolated-slot rules) and the node watermark. The store is empty;
+// New seeds it with a detection run, Restore from persisted violations.
+func newSession(g *graph.Graph, rules *core.Set, opts Options) *Session {
 	s := &Session{
 		g:         g,
 		rules:     rules,
@@ -192,18 +242,16 @@ func New(g *graph.Graph, rules *core.Set, opts Options) *Session {
 			s.isoRules = append(s.isoRules, isoRule{rule: r, slots: slots})
 		}
 	}
-	var vios []core.Violation
-	if opts.Parallel {
-		vios = par.PDect(g, rules, s.parOpts()).Violations
-	} else {
-		vios = detect.Dect(g, rules, detect.Options{NoPruning: opts.NoPruning}).Violations
-	}
-	for _, v := range vios {
-		s.store[v.Key()] = v
-	}
 	s.seenNodes = g.NumNodes()
 	return s
 }
+
+// SetCommitHook installs (or, with nil, removes) the hook Commit invokes
+// with each batch before mutating the graph. internal/store uses it to
+// append the batch to the write-ahead log; installing it after recovery
+// replay (rather than before) is what keeps replayed batches from being
+// re-logged.
+func (s *Session) SetCommitHook(h CommitHook) { s.hook = h }
 
 // parOpts resolves the session's parallel-engine options: an untouched
 // zero value means the full hybrid strategy at the default worker count.
@@ -310,6 +358,13 @@ func (s *Session) Commit(d *graph.Delta) BatchStats {
 	// coalesce once: dedupe, annihilate, drop ineffective ops
 	norm := d.Normalize(s.g)
 	st.Ops = norm.Len()
+
+	// write-ahead: log the normalized batch (plus the arriving-node range)
+	// before detection and before the in-place Apply, so a crash at any
+	// later point replays to exactly this commit's outcome
+	if s.hook != nil {
+		st.LogErr = s.hook(s.g, norm, graph.NodeID(s.seenNodes), graph.NodeID(s.g.NumNodes()))
+	}
 
 	// absorb nodes that arrived since the last commit (isolated pattern
 	// slots gain matches the edge-driven pivots cannot see)

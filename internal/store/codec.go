@@ -1,0 +1,227 @@
+package store
+
+// This file holds the low-level binary codec shared by the snapshot format
+// and the write-ahead log: CRC-tracking reader/writer wrappers plus
+// varint/string/Value primitives. Both formats are little-endian, use
+// unsigned varints for counts and ids, zigzag varints for integers, and
+// length-prefixed byte strings; every byte that enters the stream also
+// enters a running CRC-32 (IEEE) so torn or corrupted data is detected
+// before it can be replayed.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"ngd/internal/graph"
+)
+
+// maxString bounds a single decoded string (labels, attribute names/values,
+// external ids, the rules DSL text). Counts and lengths are read before the
+// CRC is verified, so a corrupted length must not be able to demand an
+// absurd allocation.
+const maxString = 64 << 20
+
+// cwriter streams bytes to an underlying writer while folding them into a
+// CRC-32 and counting them.
+type cwriter struct {
+	w   *bufio.Writer
+	crc hash.Hash32
+	n   int64
+	err error
+}
+
+func newCWriter(w io.Writer) *cwriter {
+	return &cwriter{w: bufio.NewWriterSize(w, 1<<16), crc: crc32.NewIEEE()}
+}
+
+func (c *cwriter) write(p []byte) {
+	if c.err != nil {
+		return
+	}
+	if _, err := c.w.Write(p); err != nil {
+		c.err = err
+		return
+	}
+	c.crc.Write(p)
+	c.n += int64(len(p))
+}
+
+func (c *cwriter) byte(b byte)   { c.write([]byte{b}) }
+func (c *cwriter) sum32() uint32 { return c.crc.Sum32() }
+func (c *cwriter) u32(v uint32)  { var b [4]byte; binary.LittleEndian.PutUint32(b[:], v); c.write(b[:]) }
+func (c *cwriter) u64(v uint64)  { var b [8]byte; binary.LittleEndian.PutUint64(b[:], v); c.write(b[:]) }
+func (c *cwriter) uvarint(v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	c.write(b[:binary.PutUvarint(b[:], v)])
+}
+func (c *cwriter) svarint(v int64) {
+	var b [binary.MaxVarintLen64]byte
+	c.write(b[:binary.PutVarint(b[:], v)])
+}
+func (c *cwriter) str(s string) {
+	c.uvarint(uint64(len(s)))
+	c.write([]byte(s))
+}
+
+// rawU32 writes a u32 without folding it into the CRC — the trailer holding
+// the CRC itself cannot be part of what it checks.
+func (c *cwriter) rawU32(v uint32) {
+	if c.err != nil {
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	if _, err := c.w.Write(b[:]); err != nil {
+		c.err = err
+		return
+	}
+	c.n += 4
+}
+
+func (c *cwriter) flush() error {
+	if c.err != nil {
+		return c.err
+	}
+	return c.w.Flush()
+}
+
+// Value encoding: one kind byte followed by the kind's payload.
+func (c *cwriter) value(v graph.Value) {
+	c.byte(byte(v.Kind()))
+	switch v.Kind() {
+	case graph.KindInt:
+		i, _ := v.AsInt()
+		c.svarint(i)
+	case graph.KindString:
+		s, _ := v.AsString()
+		c.str(s)
+	case graph.KindBool:
+		b, _ := v.AsBool()
+		if b {
+			c.byte(1)
+		} else {
+			c.byte(0)
+		}
+	case graph.KindFloat:
+		f, _ := v.AsFloat()
+		c.u64(math.Float64bits(f))
+	case graph.KindInvalid:
+		// no payload: decodes back to the zero (absent) Value
+	}
+}
+
+// creader mirrors cwriter: it reads from an underlying reader while folding
+// every byte into a CRC-32. It implements io.ByteReader so binary varint
+// decoding works directly on it.
+type creader struct {
+	r   *bufio.Reader
+	crc hash.Hash32
+}
+
+func newCReader(r io.Reader) *creader {
+	return &creader{r: bufio.NewReaderSize(r, 1<<16), crc: crc32.NewIEEE()}
+}
+
+func (c *creader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	c.crc.Write([]byte{b})
+	return b, nil
+}
+
+func (c *creader) read(p []byte) error {
+	if _, err := io.ReadFull(c.r, p); err != nil {
+		return err
+	}
+	c.crc.Write(p)
+	return nil
+}
+
+func (c *creader) sum32() uint32 { return c.crc.Sum32() }
+
+func (c *creader) u32() (uint32, error) {
+	var b [4]byte
+	if err := c.read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (c *creader) u64() (uint64, error) {
+	var b [8]byte
+	if err := c.read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func (c *creader) uvarint() (uint64, error) { return binary.ReadUvarint(c) }
+func (c *creader) svarint() (int64, error)  { return binary.ReadVarint(c) }
+
+func (c *creader) str() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxString {
+		return "", fmt.Errorf("store: string length %d exceeds limit", n)
+	}
+	b := make([]byte, n)
+	if err := c.read(b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// rawU32 reads a u32 bypassing the CRC (the trailer).
+func (c *creader) rawU32() (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(c.r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (c *creader) value() (graph.Value, error) {
+	k, err := c.ReadByte()
+	if err != nil {
+		return graph.Value{}, err
+	}
+	switch graph.Kind(k) {
+	case graph.KindInt:
+		i, err := c.svarint()
+		if err != nil {
+			return graph.Value{}, err
+		}
+		return graph.Int(i), nil
+	case graph.KindString:
+		s, err := c.str()
+		if err != nil {
+			return graph.Value{}, err
+		}
+		return graph.Str(s), nil
+	case graph.KindBool:
+		b, err := c.ReadByte()
+		if err != nil {
+			return graph.Value{}, err
+		}
+		return graph.Bool(b != 0), nil
+	case graph.KindFloat:
+		bits, err := c.u64()
+		if err != nil {
+			return graph.Value{}, err
+		}
+		return graph.Float(math.Float64frombits(bits)), nil
+	case graph.KindInvalid:
+		return graph.Value{}, nil
+	default:
+		return graph.Value{}, fmt.Errorf("store: unknown value kind %d", k)
+	}
+}

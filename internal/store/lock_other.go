@@ -1,0 +1,21 @@
+//go:build !unix
+
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// lockDir on platforms without flock creates the LOCK file but provides no
+// mutual exclusion — single-process ownership of the data directory is the
+// operator's responsibility there (see docs/OPERATIONS.md).
+func lockDir(dir string) (*os.File, error) {
+	return os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+}
+
+func unlockDir(f *os.File) {
+	if f != nil {
+		_ = f.Close()
+	}
+}

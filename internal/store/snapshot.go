@@ -1,0 +1,287 @@
+package store
+
+// Snapshot codec (format version 1). A snapshot is a complete, self-
+// describing image of a serving session at one batch sequence number:
+//
+//	magic   "NGDSNAPS"                      (8 bytes)
+//	u32     format version (1)
+//	u64     seq — the batch sequence the snapshot covers
+//	symbols labels beyond the wildcard, then attribute names (counted
+//	        string lists; interning order is preserved so ids decode
+//	        identically)
+//	nodes   per node: label id, attribute count, (attr id, typed value)*
+//	edges   per node: out-degree, (edge label id, head node)* — in-lists,
+//	        the by-label postings and the attribute indexes are derived
+//	        structures and are rebuilt on load
+//	names   the external-id map: (string id, node)*
+//	rules   the rule set Σ rendered in the text DSL (re-parsed on load)
+//	vios    the violation store: (rule name, match node list)*
+//	u32     CRC-32 (IEEE) of every preceding byte
+//
+// The violation store rides in the snapshot so recovery can seed the
+// restored session without re-running batch detection — that is what makes
+// recovery cost proportional to the WAL suffix rather than to |G|·‖Σ‖.
+// Snapshots are written to a temp file and atomically renamed into place;
+// a torn snapshot write can therefore never shadow the previous good one.
+
+import (
+	"fmt"
+	"io"
+
+	"ngd/internal/graph"
+)
+
+const (
+	snapMagic  = "NGDSNAPS"
+	walMagic   = "NGDWALOG"
+	codecVer   = 1
+	snapSuffix = ".ngds"
+	walSuffix  = ".ngdw"
+	tmpSuffix  = ".tmp"
+)
+
+// vioRec is a violation as persisted: the rule by name, the match by node
+// ids. Resolution back to *core.NGD happens after the rules text is parsed.
+type vioRec struct {
+	Rule  string
+	Match []graph.NodeID
+}
+
+// snapshotData is the decoded (or to-be-encoded) content of one snapshot.
+type snapshotData struct {
+	Seq        uint64
+	G          *graph.Graph
+	Names      map[string]graph.NodeID
+	RulesText  string
+	Violations []vioRec
+}
+
+// writeSnapshot encodes sd onto w.
+func writeSnapshot(w io.Writer, sd *snapshotData) error {
+	c := newCWriter(w)
+	c.write([]byte(snapMagic))
+	c.u32(codecVer)
+	c.u64(sd.Seq)
+
+	// symbols: labels beyond the pre-interned wildcard, then attrs
+	syms := sd.G.Symbols()
+	c.uvarint(uint64(syms.NumLabels() - 1))
+	for l := 1; l < syms.NumLabels(); l++ {
+		c.str(syms.LabelName(graph.LabelID(l)))
+	}
+	c.uvarint(uint64(syms.NumAttrs()))
+	for a := 0; a < syms.NumAttrs(); a++ {
+		c.str(syms.AttrName(graph.AttrID(a)))
+	}
+
+	// nodes: label + typed attribute tuple
+	n := sd.G.NumNodes()
+	c.uvarint(uint64(n))
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		c.uvarint(uint64(sd.G.Label(id)))
+		c.uvarint(uint64(sd.G.NumAttrs(id)))
+		sd.G.Attrs(id, func(a graph.AttrID, val graph.Value) {
+			c.uvarint(uint64(a))
+			c.value(val)
+		})
+	}
+
+	// adjacency: out-lists only (in-lists are the mirror image)
+	for v := 0; v < n; v++ {
+		out := sd.G.Out(graph.NodeID(v))
+		c.uvarint(uint64(len(out)))
+		for _, h := range out {
+			c.uvarint(uint64(h.Label))
+			c.uvarint(uint64(h.To))
+		}
+	}
+
+	// external-id map
+	c.uvarint(uint64(len(sd.Names)))
+	for id, v := range sd.Names {
+		c.str(id)
+		c.uvarint(uint64(v))
+	}
+
+	// rules + violation store
+	c.str(sd.RulesText)
+	c.uvarint(uint64(len(sd.Violations)))
+	for _, vr := range sd.Violations {
+		c.str(vr.Rule)
+		c.uvarint(uint64(len(vr.Match)))
+		for _, m := range vr.Match {
+			c.uvarint(uint64(m))
+		}
+	}
+
+	c.rawU32(c.sum32())
+	return c.flush()
+}
+
+// readSnapshot decodes a snapshot, rebuilding the graph (including its
+// derived structures: in-lists and by-label postings; attribute indexes are
+// rebuilt lazily by the first matching plan that wants them). The CRC
+// trailer is verified before the result is returned.
+func readSnapshot(r io.Reader) (*snapshotData, error) {
+	c := newCReader(r)
+	magic := make([]byte, len(snapMagic))
+	if err := c.read(magic); err != nil {
+		return nil, fmt.Errorf("store: snapshot header: %w", err)
+	}
+	if string(magic) != snapMagic {
+		return nil, fmt.Errorf("store: not a snapshot file (bad magic %q)", magic)
+	}
+	ver, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != codecVer {
+		return nil, fmt.Errorf("store: unsupported snapshot version %d (want %d)", ver, codecVer)
+	}
+	sd := &snapshotData{}
+	if sd.Seq, err = c.u64(); err != nil {
+		return nil, err
+	}
+
+	// symbols: intern in recorded order so ids decode identically
+	syms := graph.NewSymbols()
+	nLabels, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nLabels; i++ {
+		s, err := c.str()
+		if err != nil {
+			return nil, err
+		}
+		syms.Label(s)
+	}
+	nAttrs, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nAttrs; i++ {
+		s, err := c.str()
+		if err != nil {
+			return nil, err
+		}
+		syms.Attr(s)
+	}
+
+	g := graph.NewWithSymbols(syms)
+	sd.G = g
+	nNodes, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nNodes; i++ {
+		lbl, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if lbl >= uint64(syms.NumLabels()) {
+			return nil, fmt.Errorf("store: node %d references unknown label id %d", i, lbl)
+		}
+		v := g.AddNodeL(graph.LabelID(lbl))
+		na, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < na; j++ {
+			a, err := c.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if a >= uint64(syms.NumAttrs()) {
+				return nil, fmt.Errorf("store: node %d references unknown attr id %d", i, a)
+			}
+			val, err := c.value()
+			if err != nil {
+				return nil, err
+			}
+			g.SetAttrA(v, graph.AttrID(a), val)
+		}
+	}
+
+	for v := uint64(0); v < nNodes; v++ {
+		deg, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < deg; j++ {
+			lbl, err := c.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			to, err := c.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if to >= nNodes || lbl >= uint64(syms.NumLabels()) {
+				return nil, fmt.Errorf("store: edge (%d -%d-> %d) out of range", v, lbl, to)
+			}
+			g.AddEdgeL(graph.NodeID(v), graph.NodeID(to), graph.LabelID(lbl))
+		}
+	}
+
+	nNames, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	sd.Names = make(map[string]graph.NodeID, nNames)
+	for i := uint64(0); i < nNames; i++ {
+		id, err := c.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if v >= nNodes {
+			return nil, fmt.Errorf("store: external id %q references unknown node %d", id, v)
+		}
+		sd.Names[id] = graph.NodeID(v)
+	}
+
+	if sd.RulesText, err = c.str(); err != nil {
+		return nil, err
+	}
+	nVios, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nVios; i++ {
+		name, err := c.str()
+		if err != nil {
+			return nil, err
+		}
+		ml, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		m := make([]graph.NodeID, 0, min(ml, 64))
+		for j := uint64(0); j < ml; j++ {
+			id, err := c.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if id >= nNodes {
+				return nil, fmt.Errorf("store: violation %q match references unknown node %d", name, id)
+			}
+			m = append(m, graph.NodeID(id))
+		}
+		sd.Violations = append(sd.Violations, vioRec{Rule: name, Match: m})
+	}
+
+	want := c.sum32()
+	got, err := c.rawU32()
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot trailer: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("store: snapshot checksum mismatch (file %08x, computed %08x)", got, want)
+	}
+	return sd, nil
+}

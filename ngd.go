@@ -47,6 +47,7 @@ import (
 	"ngd/internal/reason"
 	"ngd/internal/serve"
 	"ngd/internal/session"
+	"ngd/internal/store"
 )
 
 // Re-exported core types. The aliases expose the full method sets of the
@@ -118,6 +119,21 @@ type (
 	// a maintained Partition is kept current across session commits with
 	// incremental Extend/Refine passes instead of per-batch rebuilds.
 	Partition = partition.Partition
+	// Store makes a serving session durable: a versioned binary snapshot
+	// of the whole session state plus a CRC-checked write-ahead log of
+	// update batches, with crash recovery proportional to the WAL suffix
+	// (internal/store; cmd/ngdserve -data wires it into the daemon).
+	Store = store.Store
+	// StoreOptions configure a Store (checkpoint cadence, WAL fsync
+	// policy, the session options recovery restores with).
+	StoreOptions = store.Options
+	// StoreStats summarize a Store (sequence numbers, batches and bytes
+	// logged, checkpoints completed).
+	StoreStats = store.Stats
+	// Recovered reports what Open reconstructed from a data directory: the
+	// restored session, rules, external-id map, and the recovery costs
+	// (snapshot load vs. WAL replay).
+	Recovered = store.Recovered
 )
 
 // Value constructors.
@@ -246,6 +262,24 @@ func NewSession(g *Graph, rules *RuleSet, opts SessionOptions) *Session {
 func Serve(sess *Session, opts ServeOptions) *Server {
 	return serve.New(sess, opts)
 }
+
+// Open opens (creating if necessary) a durable data directory. When it
+// holds a recoverable state, the returned Recovered carries a session
+// restored to exactly the pre-crash state: newest snapshot loaded, WAL
+// suffix replayed (a torn final record is truncated away). On a fresh
+// directory Recovered is nil: open a session with NewSession and attach it
+// with Store.Bootstrap, which snapshots the seeded state and starts
+// write-ahead logging every subsequent commit. Wire the store into the
+// serving layer via ServeOptions.OnNewNode = Store.NoteName and a
+// ServeOptions.AfterCommit callback invoking Store.MaybeCheckpoint.
+func Open(dir string, opts StoreOptions) (*Store, *Recovered, error) {
+	return store.Open(dir, opts)
+}
+
+// Checkpoint synchronously captures the attached session's current state
+// into a new durable snapshot and prunes the WAL segments it covers. Call
+// it from the goroutine owning the session (or after Server.Close).
+func Checkpoint(st *Store) error { return st.Checkpoint() }
 
 // Verdict is the three-valued answer of the static analyses.
 type Verdict = reason.Verdict

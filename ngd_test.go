@@ -241,3 +241,88 @@ func TestPublicAPIServe(t *testing.T) {
 		t.Fatalf("server stats: %+v", st)
 	}
 }
+
+func TestPublicAPIDurableStore(t *testing.T) {
+	dir := t.TempDir()
+	g := ngd.NewGraph()
+	buildArea(g, 600, 722, 1322) // consistent
+	buildArea(g, 600, 722, 1572) // violating
+	rules, err := ngd.ParseRules(strings.NewReader(quickRules))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// first boot: nothing to recover, bootstrap and serve durably
+	st, rec, err := ngd.Open(dir, ngd.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		t.Fatal("fresh directory reported recoverable state")
+	}
+	sess := ngd.NewSession(g, rules, ngd.SessionOptions{})
+	names := make(map[string]ngd.NodeID)
+	if err := st.Bootstrap(sess, rules, names); err != nil {
+		t.Fatal(err)
+	}
+	srv := ngd.Serve(sess, ngd.ServeOptions{
+		Names:       names,
+		OnNewNode:   st.NoteName,
+		AfterCommit: func(bs ngd.BatchStats) { st.MaybeCheckpoint() },
+	})
+	done, err := srv.Enqueue([]ngd.UpdateOp{
+		{Op: "node", ID: "area3", Label: "area"},
+		{Op: "node", ID: "f3", Label: "integer", Attrs: map[string]any{"val": 1}},
+		{Op: "node", ID: "m3", Label: "integer", Attrs: map[string]any{"val": 2}},
+		{Op: "node", ID: "t3", Label: "integer", Attrs: map[string]any{"val": 5}},
+		{Op: "insert", Src: "area3", Dst: "f3", Label: "female"},
+		{Op: "insert", Src: "area3", Dst: "m3", Label: "male"},
+		{Op: "insert", Src: "area3", Dst: "t3", Label: "total"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	wantKeys := make([]string, 0, 2)
+	for _, v := range srv.Snapshot().Violations() {
+		wantKeys = append(wantKeys, v.Key())
+	}
+	srv.Close()
+	if err := st.Close(); err != nil { // crash: no final checkpoint
+		t.Fatal(err)
+	}
+	if ss := st.Stats(); ss.Batches != 1 || ss.Seq != 1 {
+		t.Fatalf("store stats after one batch: %+v", ss)
+	}
+
+	// second boot: recovery reproduces the store and the id map
+	st2, rec2, err := ngd.Open(dir, ngd.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if rec2 == nil {
+		t.Fatal("nothing recovered")
+	}
+	if rec2.Replayed != 1 {
+		t.Errorf("replayed %d batches, want 1", rec2.Replayed)
+	}
+	vios := rec2.Session.Violations()
+	if len(vios) != len(wantKeys) {
+		t.Fatalf("recovered %d violations, want %d", len(vios), len(wantKeys))
+	}
+	for i, v := range vios {
+		if v.Key() != wantKeys[i] {
+			t.Fatalf("violation %d = %s, want %s", i, v.Key(), wantKeys[i])
+		}
+	}
+	if _, ok := rec2.Names["area3"]; !ok {
+		t.Fatal("external id area3 lost in recovery")
+	}
+	if err := ngd.Checkpoint(st2); err != nil {
+		t.Fatal(err)
+	}
+	if ss := st2.Stats(); ss.SnapshotSeq != 1 || ss.Checkpoints != 1 {
+		t.Fatalf("store stats after checkpoint: %+v", ss)
+	}
+}
