@@ -3,6 +3,14 @@
 // from GFDs (§5.1). Given Σ and G it computes Vio(Σ,G), the set of matches
 // h(x̄) with h ⊨ X and h ⊭ Y for some φ = Q[x̄](X → Y) ∈ Σ.
 //
+// Rule compilation and matching-order planning live in internal/plan: a
+// shared *plan.Program compiles Σ once, serves cost-based plans from a
+// churn-invalidated cache, and arranges overlapping rules into a prefix
+// forest that Dect enumerates once per shared prefix (shared.go). This
+// package executes those plans: the literal schedule (LitEval), the
+// single-rule violation Searcher the incremental algorithms reuse with
+// pre-bound pivots, and the shared-prefix batch searcher.
+//
 // The violation search prunes with literals as soon as their variables are
 // instantiated (paper §6.2 step (3)): a falsified X-literal cuts the branch
 // (the match cannot satisfy the precondition); once every Y-literal has
@@ -13,7 +21,7 @@ import (
 	"ngd/internal/core"
 	"ngd/internal/graph"
 	"ngd/internal/match"
-	"ngd/internal/pattern"
+	"ngd/internal/plan"
 )
 
 // Options tune detection.
@@ -25,52 +33,64 @@ type Options struct {
 	// violation set — the toggle exists for differential tests and for
 	// measuring the pruning speedup.
 	NoPruning bool
+	// Program is the shared rule program to plan with. nil builds a
+	// private one for this call (one-shot detection); long-lived callers
+	// (sessions, the serving daemon, benchmarks replaying batches) pass
+	// their own so compilation and planning amortize across runs.
+	Program *plan.Program
 }
 
-// filterLit records that X-literal lit was compiled into a candidate
-// predicate on pattern node node (so LitEval can avoid re-evaluating it
-// when the node's candidates were already filter-checked).
-type filterLit struct {
-	lit, node int
+// program resolves the effective rule program for one detector invocation.
+func (o Options) program(g graph.View, rules *core.Set) *plan.Program {
+	if o.Program != nil {
+		return o.Program
+	}
+	return plan.New(g, rules, plan.Options{NoPruning: o.NoPruning})
 }
 
-// Compiled bundles a rule with its pattern compiled against a graph's
-// symbols, plus the candidate filters derived from its precondition
-// literals (nil when no X-literal has the single-node constant shape).
-type Compiled struct {
-	Rule       *core.NGD
-	CP         *pattern.Compiled
-	Filters    match.Filters
-	filterLits []filterLit
+// Result of a batch detection run.
+type Result struct {
+	Violations []core.Violation
+	Counters   match.Counters
 }
 
-// CompileRule resolves the rule's pattern against syms and compiles the
-// rule's X-literals into per-pattern-node candidate predicates. Only
-// precondition literals prune: a candidate falsifying one can never
-// satisfy X, whereas a falsified consequence literal is exactly what a
-// violation needs.
-func CompileRule(r *core.NGD, syms *graph.Symbols) *Compiled {
-	c := &Compiled{Rule: r, CP: pattern.Compile(r.Pattern, syms)}
-	f := match.NewFilters(len(r.Pattern.Nodes))
-	for i, l := range r.X {
-		if node := f.AddLiteral(r.Pattern, syms, l.L, l.Op, l.R); node >= 0 {
-			c.filterLits = append(c.filterLits, filterLit{lit: i, node: node})
+// Dect computes Vio(Σ, G) sequentially (the yardstick batch algorithm).
+// Rules whose plans share a structural prefix are enumerated together: the
+// shared steps' candidate scans and edge checks run once, and each rule's
+// literal schedule is layered on top (see RunShared). Programs built with
+// NoSharing fall back to one independent search per rule.
+func Dect(g graph.View, rules *core.Set, opts Options) *Result {
+	prog := opts.program(g, rules)
+	res := &Result{}
+	if prog.Options().NoSharing {
+		dectPerRule(g, rules, prog, opts, res)
+		return res
+	}
+	sh := prog.ShareFor(g, rules, opts.NoPruning)
+	res.Counters = RunShared(g, sh, func(r *core.NGD, m core.Match) bool {
+		res.Violations = append(res.Violations, core.Violation{Rule: r, Match: m})
+		return opts.Limit == 0 || len(res.Violations) < opts.Limit
+	})
+	return res
+}
+
+// dectPerRule is the unshared batch loop: one searcher per rule.
+func dectPerRule(g graph.View, rules *core.Set, prog *plan.Program, opts Options, res *Result) {
+	for _, r := range rules.Rules {
+		c, pl := prog.PlanFor(g, r, nil, opts.NoPruning)
+		s := NewSearcher(g, c, pl)
+		partial := match.NewPartial(len(r.Pattern.Nodes))
+		stat := s.Run(partial, func(m core.Match) bool {
+			res.Violations = append(res.Violations, core.Violation{Rule: r, Match: m})
+			return opts.Limit == 0 || len(res.Violations) < opts.Limit
+		})
+		res.Counters.Candidates += stat.Candidates
+		res.Counters.Checks += stat.Checks
+		res.Counters.Matches += stat.Matches
+		if opts.Limit > 0 && len(res.Violations) >= opts.Limit {
+			break
 		}
 	}
-	if len(c.filterLits) > 0 {
-		c.Filters = f
-	}
-	return c
-}
-
-// BuildPlan constructs the matching plan for the rule over g: the pruned,
-// index-seeded plan by default, or the bare label-count plan when pruning
-// is disabled.
-func (c *Compiled) BuildPlan(g graph.View, bound []int, noPruning bool) *match.Plan {
-	if noPruning {
-		return match.BuildPlan(c.CP, bound, match.GraphSelectivity(g, c.CP))
-	}
-	return match.BuildPrunedPlan(g, c.CP, bound, c.Filters)
 }
 
 // litSchedule assigns each literal to the earliest plan step at which all of
@@ -83,17 +103,17 @@ type litSchedule struct {
 // buildSchedule places literals at their earliest evaluable level. skipX
 // marks X-literal indices to leave out entirely — those already enforced
 // per candidate by the plan's filters (see NewLitEval).
-func buildSchedule(rule *core.NGD, plan *match.Plan, skipX []bool) litSchedule {
-	n := len(plan.Steps)
+func buildSchedule(rule *core.NGD, pl *match.Plan, skipX []bool) litSchedule {
+	n := len(pl.Steps)
 	sched := litSchedule{
 		xAt: make([][]int, n+1),
 		yAt: make([][]int, n+1),
 	}
 	bound := make(map[int]int, len(rule.Pattern.Nodes)) // node idx -> step+1
-	for _, b := range plan.Bound {
+	for _, b := range pl.Bound {
 		bound[b] = 0
 	}
-	for k, st := range plan.Steps {
+	for k, st := range pl.Steps {
 		bound[st.Node] = k + 1
 	}
 	place := func(lits []core.Literal, at [][]int, skip []bool) {
@@ -120,7 +140,7 @@ func buildSchedule(rule *core.NGD, plan *match.Plan, skipX []bool) litSchedule {
 // pruning. It is reused by the incremental algorithms with pre-bound pivots.
 type Searcher struct {
 	G    graph.View
-	C    *Compiled
+	C    *plan.Compiled
 	Plan *match.Plan
 
 	le   *LitEval
@@ -128,10 +148,10 @@ type Searcher struct {
 	m    *match.Matcher
 }
 
-// NewSearcher prepares a violation search for rule c over g using plan.
-func NewSearcher(g graph.View, c *Compiled, plan *match.Plan) *Searcher {
-	s := &Searcher{G: g, C: c, Plan: plan, le: NewLitEval(g, c, plan)}
-	s.ySat = make([]int, len(plan.Steps)+1)
+// NewSearcher prepares a violation search for rule c over g using pl.
+func NewSearcher(g graph.View, c *plan.Compiled, pl *match.Plan) *Searcher {
+	s := &Searcher{G: g, C: c, Plan: pl, le: NewLitEval(g, c, pl)}
+	s.ySat = make([]int, len(pl.Steps)+1)
 	return s
 }
 
@@ -170,34 +190,6 @@ func (s *Searcher) Run(partial []graph.NodeID, emit func(core.Match) bool) match
 		return true
 	})
 	return s.m.Stat
-}
-
-// Result of a batch detection run.
-type Result struct {
-	Violations []core.Violation
-	Counters   match.Counters
-}
-
-// Dect computes Vio(Σ, G) sequentially (the yardstick batch algorithm).
-func Dect(g graph.View, rules *core.Set, opts Options) *Result {
-	res := &Result{}
-	for _, r := range rules.Rules {
-		c := CompileRule(r, g.Symbols())
-		plan := c.BuildPlan(g, nil, opts.NoPruning)
-		s := NewSearcher(g, c, plan)
-		partial := match.NewPartial(len(r.Pattern.Nodes))
-		stat := s.Run(partial, func(m core.Match) bool {
-			res.Violations = append(res.Violations, core.Violation{Rule: r, Match: m})
-			return opts.Limit == 0 || len(res.Violations) < opts.Limit
-		})
-		res.Counters.Candidates += stat.Candidates
-		res.Counters.Checks += stat.Checks
-		res.Counters.Matches += stat.Matches
-		if opts.Limit > 0 && len(res.Violations) >= opts.Limit {
-			break
-		}
-	}
-	return res
 }
 
 // Validate decides G ⊨ Σ (the validation problem, Corollary 4): true iff

@@ -5,6 +5,7 @@ import (
 	"ngd/internal/expr"
 	"ngd/internal/graph"
 	"ngd/internal/match"
+	"ngd/internal/plan"
 )
 
 // LitEval evaluates a rule's literals level-by-level along a plan: level 0
@@ -30,24 +31,24 @@ type LitEval struct {
 // work on exactly the hot path pruning targets. Literals on *pre-bound*
 // nodes (update pivots) stay scheduled at level 0 — pivots never pass
 // through candidate generation.
-func NewLitEval(g graph.View, c *Compiled, plan *match.Plan) *LitEval {
+func NewLitEval(g graph.View, c *plan.Compiled, pl *match.Plan) *LitEval {
 	var skipX []bool
-	if plan.Filters != nil && len(c.filterLits) > 0 {
+	if pl.Filters != nil && len(c.FilterLits) > 0 {
 		skipX = make([]bool, len(c.Rule.X))
-		for _, fl := range c.filterLits {
+		for _, fl := range c.FilterLits {
 			preBound := false
-			for _, b := range plan.Bound {
-				if b == fl.node {
+			for _, b := range pl.Bound {
+				if b == fl.Node {
 					preBound = true
 					break
 				}
 			}
 			if !preBound {
-				skipX[fl.lit] = true
+				skipX[fl.Lit] = true
 			}
 		}
 	}
-	return &LitEval{Rule: c.Rule, G: g, sched: buildSchedule(c.Rule, plan, skipX)}
+	return &LitEval{Rule: c.Rule, G: g, sched: buildSchedule(c.Rule, pl, skipX)}
 }
 
 // NumY reports |Y|; a match violates iff ySat < NumY at completion.

@@ -17,6 +17,7 @@ import (
 	"ngd/internal/inc"
 	"ngd/internal/par"
 	"ngd/internal/pattern"
+	"ngd/internal/plan"
 	"ngd/internal/update"
 )
 
@@ -92,13 +93,88 @@ func TestPruningDifferentialDect(t *testing.T) {
 			if len(plain.Violations) == 0 {
 				t.Fatal("workload produced no violations; differential test is vacuous")
 			}
-			if pruned.Counters.Candidates >= plain.Counters.Candidates {
-				t.Fatalf("pruning scanned %d candidates, unpruned %d — no pruning happened",
-					pruned.Counters.Candidates, plain.Counters.Candidates)
+			// The candidate-count claim is about pruning alone, so isolate
+			// it from prefix sharing (the unpruned plans carry no filters
+			// and can share more aggressively, which skews raw scan counts).
+			noShare := plan.New(w.ds.G, w.rules, plan.Options{NoSharing: true})
+			prunedNS := detect.Dect(w.ds.G, w.rules, detect.Options{Program: noShare})
+			plainNS := detect.Dect(w.ds.G, w.rules, detect.Options{NoPruning: true, Program: noShare})
+			if keyLines(prunedNS.Violations) != keyLines(plain.Violations) ||
+				keyLines(plainNS.Violations) != keyLines(plain.Violations) {
+				t.Fatal("sharing-off violation sets diverge from the shared run")
 			}
-			t.Logf("candidates scanned: pruned %d vs unpruned %d (%.1fx)",
-				pruned.Counters.Candidates, plain.Counters.Candidates,
-				float64(plain.Counters.Candidates)/float64(pruned.Counters.Candidates))
+			if prunedNS.Counters.Candidates >= plainNS.Counters.Candidates {
+				t.Fatalf("pruning scanned %d candidates, unpruned %d — no pruning happened",
+					prunedNS.Counters.Candidates, plainNS.Counters.Candidates)
+			}
+			t.Logf("candidates scanned: pruned %d vs unpruned %d (%.1fx); shared/pruned %d",
+				prunedNS.Counters.Candidates, plainNS.Counters.Candidates,
+				float64(plainNS.Counters.Candidates)/float64(prunedNS.Counters.Candidates),
+				pruned.Counters.Candidates)
+		})
+	}
+}
+
+// TestPlanPolicyDifferentialDect pins the plan-layer invariant: neither the
+// ordering policy (cost-based vs legacy label-frequency) nor cross-rule
+// prefix sharing may change the violation set — they only shift the work
+// spent enumerating it.
+func TestPlanPolicyDifferentialDect(t *testing.T) {
+	for _, w := range testWorkloads(t) {
+		t.Run(w.name, func(t *testing.T) {
+			policies := []struct {
+				name string
+				opts plan.Options
+			}{
+				{"cost+shared", plan.Options{}},
+				{"cost+noshare", plan.Options{NoSharing: true}},
+				{"legacy+shared", plan.Options{LegacyOrder: true}},
+				{"legacy+noshare", plan.Options{LegacyOrder: true, NoSharing: true}},
+			}
+			want := ""
+			for _, pol := range policies {
+				prog := plan.New(w.ds.G, w.rules, pol.opts)
+				res := detect.Dect(w.ds.G, w.rules, detect.Options{Program: prog})
+				got := keyLines(res.Violations)
+				if want == "" {
+					want = got
+					if len(res.Violations) == 0 {
+						t.Fatal("vacuous workload")
+					}
+					continue
+				}
+				if got != want {
+					t.Fatalf("policy %s diverged from %s", pol.name, policies[0].name)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanPolicyDifferentialIncDect is the incremental counterpart: the
+// shared program's cached, cost-ordered pivot plans must reproduce exactly
+// the ΔVio of a legacy-ordered one-shot run.
+func TestPlanPolicyDifferentialIncDect(t *testing.T) {
+	for _, w := range testWorkloads(t) {
+		t.Run(w.name, func(t *testing.T) {
+			d := update.Random(w.ds, update.Config{
+				Size: update.SizeFor(w.ds.G, 0.2), Gamma: 1, Seed: 42})
+			legacy := plan.New(w.ds.G, w.rules, plan.Options{LegacyOrder: true})
+			cost := plan.New(w.ds.G, w.rules, plan.Options{})
+			a := inc.IncDect(w.ds.G, w.rules, d, inc.Options{Program: legacy})
+			b := inc.IncDect(w.ds.G, w.rules, d, inc.Options{Program: cost})
+			// and a second run through the same program: served from cache
+			c := inc.IncDect(w.ds.G, w.rules, d, inc.Options{Program: cost})
+			if keyLines(a.Plus) != keyLines(b.Plus) || keyLines(a.Minus) != keyLines(b.Minus) {
+				t.Fatal("cost-ordered IncDect diverged from legacy ordering")
+			}
+			if keyLines(b.Plus) != keyLines(c.Plus) || keyLines(b.Minus) != keyLines(c.Minus) {
+				t.Fatal("cache-served IncDect diverged from its cold run")
+			}
+			cc := cost.Counters()
+			if cc.Hits == 0 {
+				t.Fatal("second IncDect run through the program produced no plan-cache hits")
+			}
 		})
 	}
 }

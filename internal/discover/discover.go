@@ -27,6 +27,7 @@ import (
 	"ngd/internal/graph"
 	"ngd/internal/match"
 	"ngd/internal/pattern"
+	"ngd/internal/plan"
 )
 
 // Options tune the miner.
@@ -187,8 +188,8 @@ func clonePattern(p *pattern.Pattern) *pattern.Pattern {
 
 func countMatches(g *graph.Graph, p *pattern.Pattern, cap int) int {
 	cp := pattern.Compile(p, g.Symbols())
-	plan := match.BuildPlan(cp, nil, match.GraphSelectivity(g, cp))
-	m := match.NewMatcher(g, plan, match.Hooks{})
+	pl := plan.ForPattern(g, cp)
+	m := match.NewMatcher(g, pl, match.Hooks{})
 	n := 0
 	m.Run(match.NewPartial(len(p.Nodes)), func([]graph.NodeID) bool {
 		n++
@@ -200,8 +201,8 @@ func countMatches(g *graph.Graph, p *pattern.Pattern, cap int) int {
 // sampleMatches returns up to cap matches of p in g.
 func sampleMatches(g *graph.Graph, p *pattern.Pattern, cap int) []core.Match {
 	cp := pattern.Compile(p, g.Symbols())
-	plan := match.BuildPlan(cp, nil, match.GraphSelectivity(g, cp))
-	m := match.NewMatcher(g, plan, match.Hooks{})
+	pl := plan.ForPattern(g, cp)
+	m := match.NewMatcher(g, pl, match.Hooks{})
 	var out []core.Match
 	m.Run(match.NewPartial(len(p.Nodes)), func(sol []graph.NodeID) bool {
 		out = append(out, append(core.Match(nil), sol...))

@@ -149,6 +149,9 @@ type Graph struct {
 	// attrIdx holds the attribute value indexes built by EnsureAttrIndex
 	// (candidate pruning, §6.2 step (3)); SetAttrA keeps them in sync.
 	attrIdx map[attrIndexKey]*AttrIndex
+	// stats holds the maintained planning statistics (see stats.go); nil
+	// until the first LiveStats call, then kept current by every mutator.
+	stats *LiveStats
 }
 
 // New returns an empty graph with a fresh symbol table.
@@ -181,6 +184,7 @@ func (g *Graph) AddNodeL(label LabelID) NodeID {
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
 	g.byLabel[label] = append(g.byLabel[label], id)
+	g.noteChurn()
 	return id
 }
 
@@ -211,6 +215,7 @@ func (g *Graph) SetAttrA(v NodeID, a AttrID, val Value) {
 		}
 	}
 	nd.attrs[a] = val
+	g.noteChurn()
 }
 
 // Attr returns attribute a of v; the zero Value (invalid) means absent.
@@ -281,6 +286,7 @@ func (g *Graph) AddEdgeL(u, v NodeID, label LabelID) bool {
 	}
 	g.in[v], _ = insertHalf(g.in[v], Half{Label: label, To: u})
 	g.edgeCount++
+	g.noteEdge(u, v, label, 1)
 	return true
 }
 
@@ -293,6 +299,7 @@ func (g *Graph) DeleteEdgeL(u, v NodeID, label LabelID) bool {
 	}
 	g.in[v], _ = removeHalf(g.in[v], Half{Label: label, To: u})
 	g.edgeCount--
+	g.noteEdge(u, v, label, -1)
 	return true
 }
 
@@ -389,8 +396,9 @@ func (g *Graph) InducedEdges(set map[NodeID]struct{}, fn func(u, v NodeID, l Lab
 	}
 }
 
-// Clone returns a deep copy sharing the symbol table. Attribute indexes are
-// not copied; the clone rebuilds them on the next EnsureAttrIndex.
+// Clone returns a deep copy sharing the symbol table. Attribute indexes and
+// maintained statistics are not copied; the clone rebuilds them on the next
+// EnsureAttrIndex / LiveStats call.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		syms:      g.syms,

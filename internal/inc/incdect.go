@@ -21,6 +21,7 @@ import (
 	"ngd/internal/detect"
 	"ngd/internal/graph"
 	"ngd/internal/match"
+	"ngd/internal/plan"
 )
 
 // DeltaVio is the incremental answer ΔVio(Σ, G, ΔG) = (ΔVio⁺, ΔVio⁻).
@@ -64,6 +65,11 @@ type Options struct {
 	// ΔG⁻ ⊆ G, ΔG⁺ ∩ ΔG⁻ = ∅, one op per edge). The session commit path
 	// coalesces each batch once and sets this to avoid a second pass.
 	AssumeNormalized bool
+	// Program is the shared rule program to plan with; nil builds a
+	// private one for this call. Long-lived callers (the session) pass
+	// their own so the per-(rule, pivot-slot) plans are compiled once and
+	// served from the cache on every subsequent batch.
+	Program *plan.Program
 }
 
 // IncDect computes ΔVio(Σ, G, ΔG). g is the *pre-update* graph; ΔG is
@@ -90,23 +96,29 @@ func IncDect(g *graph.Graph, rules *core.Set, delta *graph.Delta, opts Options) 
 		delIdx[edgeKey{op.Src, op.Dst, op.Label}] = i
 	}
 
+	prog := opts.Program
+	if prog == nil {
+		prog = plan.New(g, rules, plan.Options{NoPruning: opts.NoPruning})
+	}
 	for _, r := range rules.Rules {
-		c := detect.CompileRule(r, g.Symbols())
+		c := prog.CompiledFor(r)
 		// ΔVio⁺: search G ⊕ ΔG from insertion pivots.
-		res.search(newView, c, ins, insIdx, true, opts)
+		res.search(newView, prog, c, ins, insIdx, true, opts)
 		// ΔVio⁻: search G from deletion pivots.
-		res.search(g, c, del, delIdx, false, opts)
+		res.search(g, prog, c, del, delIdx, false, opts)
 	}
 	return res
 }
 
 // search expands all pivots of one rule over one view.
-func (res *Result) search(v graph.View, c *detect.Compiled, ops []graph.EdgeOp,
+func (res *Result) search(v graph.View, prog *plan.Program, c *plan.Compiled, ops []graph.EdgeOp,
 	idx map[edgeKey]int, plus bool, opts Options) {
 
 	nPat := len(c.Rule.Pattern.Nodes)
 	// One searcher per pattern-edge slot: the plan and literal schedule are
-	// pivot-independent, and a Searcher is sequentially reusable across Runs.
+	// pivot-independent, and a Searcher is sequentially reusable across
+	// Runs. The plans themselves come from the shared program cache, so the
+	// session's absorption searches and repeated batches reuse them too.
 	searchers := make(map[int]*detect.Searcher)
 
 	for rank, op := range ops {
@@ -129,7 +141,8 @@ func (res *Result) search(v graph.View, c *detect.Compiled, ops []graph.EdgeOp,
 				if pe.Dst != pe.Src {
 					bound = append(bound, pe.Dst)
 				}
-				s = detect.NewSearcher(v, c, c.BuildPlan(v, bound, opts.NoPruning))
+				_, pl := prog.PlanFor(v, c.Rule, bound, opts.NoPruning)
+				s = detect.NewSearcher(v, c, pl)
 				searchers[slot] = s
 			}
 			res.Pivots++
@@ -156,7 +169,7 @@ func (res *Result) search(v graph.View, c *detect.Compiled, ops []graph.EdgeOp,
 // smallestPivot reports whether pv is the lexicographically smallest
 // (Δ-edge rank, slot) pair realized by match m — the dedup rule that makes
 // each update-driven violation come out exactly once.
-func smallestPivot(v graph.View, c *detect.Compiled, m core.Match,
+func smallestPivot(v graph.View, c *plan.Compiled, m core.Match,
 	idx map[edgeKey]int, pv pivot) bool {
 	for slot, pe := range c.Rule.Pattern.Edges {
 		k := edgeKey{m[pe.Src], m[pe.Dst], c.CP.EdgeLabels[slot]}

@@ -225,17 +225,26 @@ func EnsureIndexes(g graph.View, cp *pattern.Compiled, f Filters) {
 // bestSeedPred picks the most selective seedable predicate of a node (by
 // index run cardinality), or -1 when none applies.
 func bestSeedPred(g graph.View, cp *pattern.Compiled, node int, f Filters) int {
-	best, bestLen := -1, 0
+	best, _ := SeedScan(g, cp, node, f)
+	return best
+}
+
+// SeedScan reports the most selective seedable predicate of a pattern node
+// and its current index-run size (pred = -1, size = -1 when no seedable
+// index applies). The cost-based planner (internal/plan) scores seed steps
+// with it.
+func SeedScan(g graph.View, cp *pattern.Compiled, node int, f Filters) (pred, size int) {
+	pred, size = -1, -1
 	for i := range f[node].Preds {
 		run, ok := seedRun(g, cp, node, &f[node].Preds[i])
 		if !ok {
 			continue
 		}
-		if best < 0 || run.Len() < bestLen {
-			best, bestLen = i, run.Len()
+		if pred < 0 || run.Len() < size {
+			pred, size = i, run.Len()
 		}
 	}
-	return best
+	return pred, size
 }
 
 // IndexSelectivity estimates per-node candidate counts like

@@ -32,6 +32,7 @@ import (
 	"ngd/internal/inc"
 	"ngd/internal/match"
 	"ngd/internal/partition"
+	"ngd/internal/plan"
 )
 
 // Options configure the parallel engine.
@@ -79,6 +80,19 @@ type Options struct {
 	// over the whole graph — correct, but O(|V|+|E|) per call; long-lived
 	// sessions own a maintained partition instead (internal/session).
 	Part *partition.Partition
+	// Program is the shared rule program to plan with; nil builds a
+	// private one per call. Long-lived callers (the session) pass their
+	// own so every worker's task plans come from one compiled Σ and one
+	// plan cache instead of a per-batch rebuild.
+	Program *plan.Program
+}
+
+// program resolves the effective rule program for one run.
+func (o Options) program(v graph.View, rules *core.Set) *plan.Program {
+	if o.Program != nil {
+		return o.Program
+	}
+	return plan.New(v, rules, plan.Options{NoPruning: o.NoPruning})
 }
 
 // Defaults fills in zero fields (paper defaults: p=8 for parameter sweeps,
@@ -160,7 +174,7 @@ type Result struct {
 // task is one independent violation search: a rule over a view with a plan
 // (batch: one per rule; incremental: one per rule × pivot slot × side).
 type task struct {
-	c    *detect.Compiled
+	c    *plan.Compiled
 	view graph.View
 	plan *match.Plan
 	le   *detect.LitEval

@@ -6,6 +6,7 @@ import (
 	"ngd/internal/graph"
 	"ngd/internal/match"
 	"ngd/internal/partition"
+	"ngd/internal/plan"
 )
 
 // PDect runs parallel batch detection of Vio(Σ, G) (§5.1: the extension of
@@ -14,13 +15,13 @@ import (
 // the hybrid strategy applies.
 func PDect(g graph.View, rules *core.Set, opts Options) *Result {
 	opts = opts.Defaults()
+	prog := opts.program(g, rules)
 	var tasks []task
 	for _, r := range rules.Rules {
-		c := detect.CompileRule(r, g.Symbols())
-		plan := c.BuildPlan(g, nil, opts.NoPruning)
+		c, pl := prog.PlanFor(g, r, nil, opts.NoPruning)
 		tasks = append(tasks, task{
-			c: c, view: g, plan: plan,
-			le: detect.NewLitEval(g, c, plan),
+			c: c, view: g, plan: pl,
+			le: detect.NewLitEval(g, c, pl),
 		})
 	}
 	e := newEngine(opts, tasks)
@@ -101,11 +102,12 @@ func PIncDect(g *graph.Graph, rules *core.Set, delta *graph.Delta, opts Options)
 	}
 
 	// tasks: rule × pattern-edge slot × side
+	prog := opts.program(g, rules)
 	var tasks []task
 	taskOf := make(map[[3]int]int) // (ruleIdx, slot, side) -> task index
-	compiled := make([]*detect.Compiled, len(rules.Rules))
+	compiled := make([]*plan.Compiled, len(rules.Rules))
 	for ri, r := range rules.Rules {
-		compiled[ri] = detect.CompileRule(r, g.Symbols())
+		compiled[ri] = prog.CompiledFor(r)
 	}
 	getTask := func(ri, slot int, plus bool) int {
 		side := 0
@@ -126,10 +128,10 @@ func PIncDect(g *graph.Graph, rules *core.Set, delta *graph.Delta, opts Options)
 		if pe.Dst != pe.Src {
 			bound = append(bound, pe.Dst)
 		}
-		plan := c.BuildPlan(view, bound, opts.NoPruning)
+		_, pl := prog.PlanFor(view, c.Rule, bound, opts.NoPruning)
 		tasks = append(tasks, task{
-			c: c, view: view, plan: plan,
-			le:   detect.NewLitEval(view, c, plan),
+			c: c, view: view, plan: pl,
+			le:   detect.NewLitEval(view, c, pl),
 			plus: plus, inc: true,
 		})
 		taskOf[key] = len(tasks) - 1

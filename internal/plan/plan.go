@@ -1,0 +1,402 @@
+// Package plan is the shared rule-program layer: it compiles an entire NGD
+// set Σ once into a reusable Program that every detector — Dect, IncDect,
+// PDect, PIncDect — and the serving session consume, instead of rebuilding
+// per-rule matching plans on every invocation.
+//
+// The Program owns three things:
+//
+//   - compilation: each rule's pattern resolved against the graph's symbol
+//     table plus the candidate filters derived from its precondition
+//     literals (moved here from internal/detect), with identical compiled
+//     patterns deduplicated across Σ;
+//
+//   - planning: a cost-based matching-order builder (cost.go) scored with
+//     the graph's maintained statistics (graph.LiveStats) — seed cost is the
+//     attribute-index run or label-bucket size, extension cost the expected
+//     fan-out of the anchor edge — memoized in a plan cache keyed by
+//     (rule group, bound-slot signature, pruning flag) and invalidated when
+//     graph churn since plan build crosses a drift threshold;
+//
+//   - sharing: rules whose plans begin with structurally identical step
+//     prefixes are arranged into a prefix forest (share.go) so the batch
+//     detector runs each shared prefix once and fans out only at the
+//     divergence point, with per-rule literal schedules layered on top.
+//
+// A Program is cheap to build relative to detection and is never persisted:
+// recovery (internal/store) restores Σ and the graph, then rebuilds the
+// Program from them.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ngd/internal/core"
+	"ngd/internal/graph"
+	"ngd/internal/match"
+	"ngd/internal/pattern"
+)
+
+// FilterLit records that X-literal Lit was compiled into a candidate
+// predicate on pattern node Node (so the literal scheduler can avoid
+// re-evaluating it when the node's candidates were already filter-checked).
+type FilterLit struct {
+	Lit, Node int
+}
+
+// Compiled bundles a rule with its pattern compiled against a graph's
+// symbols, plus the candidate filters derived from its precondition
+// literals (nil when no X-literal has the single-node constant shape).
+type Compiled struct {
+	Rule       *core.NGD
+	CP         *pattern.Compiled
+	Filters    match.Filters
+	FilterLits []FilterLit
+}
+
+// CompileRule resolves the rule's pattern against syms and compiles the
+// rule's X-literals into per-pattern-node candidate predicates. Only
+// precondition literals prune: a candidate falsifying one can never
+// satisfy X, whereas a falsified consequence literal is exactly what a
+// violation needs.
+func CompileRule(r *core.NGD, syms *graph.Symbols) *Compiled {
+	c := &Compiled{Rule: r, CP: pattern.Compile(r.Pattern, syms)}
+	f := match.NewFilters(len(r.Pattern.Nodes))
+	for i, l := range r.X {
+		if node := f.AddLiteral(r.Pattern, syms, l.L, l.Op, l.R); node >= 0 {
+			c.FilterLits = append(c.FilterLits, FilterLit{Lit: i, Node: node})
+		}
+	}
+	if len(c.FilterLits) > 0 {
+		c.Filters = f
+	}
+	return c
+}
+
+// Options configure a Program.
+type Options struct {
+	// NoPruning disables index-backed candidate pruning program-wide;
+	// callers can also pass the flag per PlanFor call (the effective flag
+	// is the OR of both, and plans are cached per flag).
+	NoPruning bool
+	// LegacyOrder orders plans by bare label frequency (the pre-Program
+	// planner match.BuildPrunedPlan) instead of the cost model. It never
+	// changes violation sets — the toggle exists for differential tests
+	// and for measuring the cost-based ordering win.
+	LegacyOrder bool
+	// NoSharing disables the cross-rule shared-prefix batch enumeration;
+	// detectors fall back to one independent search per rule (plans still
+	// come from the cache). Differential-test toggle.
+	NoSharing bool
+	// ChurnThreshold is the number of graph mutations after which a cached
+	// plan is considered stale and rebuilt. 0 picks an automatic threshold
+	// proportional to the graph size (stats drift slowly on large graphs).
+	ChurnThreshold uint64
+}
+
+// Counters is a point-in-time snapshot of a Program's plan-cache activity.
+// Safe to read from any goroutine.
+type Counters struct {
+	Hits          int64 `json:"hits"`          // plan served from cache
+	Misses        int64 `json:"misses"`        // plan built (first use of a key)
+	Invalidations int64 `json:"invalidations"` // cached plan discarded for churn drift and rebuilt
+	SharedRules   int64 `json:"shared_rules"`  // rules riding a shared prefix in the latest batch forest
+	Groups        int64 `json:"groups"`        // distinct (pattern, filters) groups across Σ
+	Rules         int64 `json:"rules"`         // rules compiled into the program
+}
+
+// Sub returns the per-interval delta c − prev for the monotone counters
+// (SharedRules/Groups/Rules are level gauges and pass through unchanged).
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		Hits:          c.Hits - prev.Hits,
+		Misses:        c.Misses - prev.Misses,
+		Invalidations: c.Invalidations - prev.Invalidations,
+		SharedRules:   c.SharedRules,
+		Groups:        c.Groups,
+		Rules:         c.Rules,
+	}
+}
+
+// group is a set of rules with identical compiled patterns and identical
+// candidate filters: they share one matching plan per (bound, pruning) key.
+type group struct {
+	key   string
+	rules []int // program rule indices, in Σ order
+}
+
+// planKey addresses one cached plan.
+type planKey struct {
+	group     int
+	bound     string // sorted bound slots, e.g. "0,2" ("" = batch seed plan)
+	noPruning bool
+}
+
+type cachedPlan struct {
+	p       *match.Plan
+	churnAt uint64
+}
+
+// shareKey addresses one memoized prefix forest.
+type shareKey struct {
+	set       *core.Set
+	noPruning bool
+}
+
+type shareEntry struct {
+	share *Share
+	plans []*match.Plan // group plans the forest was built from (validity token)
+}
+
+// Program is the compiled, shared form of one rule set Σ over one graph's
+// symbol table. Build it once (per session / per serving daemon) and hand it
+// to every detector via their Options; one-shot detector calls without a
+// Program build a private one internally.
+//
+// Plan building may construct attribute indexes on the underlying graph and
+// must happen during single-threaded setup (all detectors build plans before
+// their workers start); the counter snapshot (Counters) is safe to read from
+// any goroutine at any time.
+type Program struct {
+	opts Options
+	syms *graph.Symbols
+
+	mu       sync.Mutex
+	rules    []*core.NGD
+	compiled []*Compiled
+	byRule   map[*core.NGD]int
+	groupOf  []int
+	groups   []*group
+	patCP    map[string]*pattern.Compiled
+	cache    map[planKey]*cachedPlan
+	shares   map[shareKey]*shareEntry
+
+	hits, misses, invalidations atomic.Int64
+	sharedRules                 atomic.Int64
+}
+
+// New compiles Σ into a Program against the view's symbol table. Rules
+// added to the set later are absorbed lazily on first lookup.
+//
+// A Program identifies rules by *core.NGD pointer and accretes everything
+// it is shown, so it should live exactly as long as its Σ: callers that
+// re-parse their rule text (fresh rule pointers for the same rules) must
+// build a fresh Program rather than feeding the new set into an old one —
+// the old entries would be retained and recompiled alongside.
+func New(v graph.View, rules *core.Set, opts Options) *Program {
+	p := &Program{
+		opts:   opts,
+		syms:   v.Symbols(),
+		byRule: make(map[*core.NGD]int),
+		patCP:  make(map[string]*pattern.Compiled),
+		cache:  make(map[planKey]*cachedPlan),
+		shares: make(map[shareKey]*shareEntry),
+	}
+	p.mu.Lock()
+	for _, r := range rules.Rules {
+		p.addRuleLocked(r)
+	}
+	p.mu.Unlock()
+	return p
+}
+
+// Options reports the program's configuration.
+func (p *Program) Options() Options { return p.opts }
+
+// NumRules reports how many rules are compiled into the program.
+func (p *Program) NumRules() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.rules)
+}
+
+// Counters snapshots the plan-cache activity.
+func (p *Program) Counters() Counters {
+	p.mu.Lock()
+	groups, rules := len(p.groups), len(p.rules)
+	p.mu.Unlock()
+	return Counters{
+		Hits:          p.hits.Load(),
+		Misses:        p.misses.Load(),
+		Invalidations: p.invalidations.Load(),
+		SharedRules:   p.sharedRules.Load(),
+		Groups:        int64(groups),
+		Rules:         int64(rules),
+	}
+}
+
+// addRuleLocked compiles r, dedupes its pattern against previously compiled
+// ones, and files it into its (pattern, filters) group.
+func (p *Program) addRuleLocked(r *core.NGD) int {
+	if i, ok := p.byRule[r]; ok {
+		return i
+	}
+	c := CompileRule(r, p.syms)
+	pk := patternKey(c.CP)
+	if shared, ok := p.patCP[pk]; ok {
+		c.CP = shared // identical pattern: one compiled instance across Σ
+	} else {
+		p.patCP[pk] = c.CP
+	}
+	gk := pk + "|" + filterKey(c.Filters)
+	gi := -1
+	for j, g := range p.groups {
+		if g.key == gk {
+			gi = j
+			break
+		}
+	}
+	if gi < 0 {
+		gi = len(p.groups)
+		p.groups = append(p.groups, &group{key: gk})
+	}
+	i := len(p.rules)
+	p.rules = append(p.rules, r)
+	p.compiled = append(p.compiled, c)
+	p.byRule[r] = i
+	p.groupOf = append(p.groupOf, gi)
+	p.groups[gi].rules = append(p.groups[gi].rules, i)
+	return i
+}
+
+// CompiledFor returns the compiled form of r, absorbing it into the program
+// if it was added to Σ after New.
+func (p *Program) CompiledFor(r *core.NGD) *Compiled {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.compiled[p.addRuleLocked(r)]
+}
+
+// PlanFor returns the compiled rule and its matching plan for the given
+// pre-bound pattern slots over v, serving from the plan cache when the
+// graph has not churned past the drift threshold since the plan was built.
+// Rules in the same (pattern, filters) group share cache entries, so e.g.
+// the per-slot pivot searchers of IncDect and the session's arriving-node
+// absorption searches draw from one plan source.
+func (p *Program) PlanFor(v graph.View, r *core.NGD, bound []int, noPruning bool) (*Compiled, *match.Plan) {
+	noPruning = noPruning || p.opts.NoPruning
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ri := p.addRuleLocked(r)
+	c := p.compiled[ri]
+	key := planKey{group: p.groupOf[ri], bound: boundSig(bound), noPruning: noPruning}
+	churn := churnOf(v)
+	if e, ok := p.cache[key]; ok {
+		if churn-e.churnAt <= p.threshold(v) {
+			p.hits.Add(1)
+			return c, e.p
+		}
+		p.invalidations.Add(1)
+	} else {
+		p.misses.Add(1)
+	}
+	pl := p.buildLocked(v, c, bound, noPruning)
+	p.cache[key] = &cachedPlan{p: pl, churnAt: churn}
+	return c, pl
+}
+
+// buildLocked constructs a plan for c with the configured ordering policy.
+func (p *Program) buildLocked(v graph.View, c *Compiled, bound []int, noPruning bool) *match.Plan {
+	if p.opts.LegacyOrder {
+		if noPruning {
+			return match.BuildPlan(c.CP, bound, match.GraphSelectivity(v, c.CP))
+		}
+		return match.BuildPrunedPlan(v, c.CP, bound, c.Filters)
+	}
+	f := c.Filters
+	if noPruning {
+		f = nil
+	}
+	return costPlan(v, c.CP, bound, f)
+}
+
+// threshold resolves the churn drift threshold for the current graph size.
+func (p *Program) threshold(v graph.View) uint64 {
+	if p.opts.ChurnThreshold > 0 {
+		return p.opts.ChurnThreshold
+	}
+	t := uint64(v.NumNodes()+v.NumEdges()) / 8
+	if t < 1024 {
+		t = 1024
+	}
+	return t
+}
+
+// churnOf reads the view's maintained churn counter (0 for views without
+// maintained stats — their plans never invalidate).
+func churnOf(v graph.View) uint64 {
+	if ls, ok := v.(graph.LiveStatted); ok {
+		return ls.LiveStats().Churn()
+	}
+	return 0
+}
+
+// ForPattern builds a one-shot, cost-ordered plan for a bare compiled
+// pattern with no rule attached (no filters, no cache) — the entry point
+// for pattern matching outside detection (rule discovery, the reasoner's
+// witness search).
+func ForPattern(v graph.View, cp *pattern.Compiled) *match.Plan {
+	return costPlan(v, cp, nil, nil)
+}
+
+// boundSig canonicalizes a bound-slot set into a cache-key string.
+func boundSig(bound []int) string {
+	if len(bound) == 0 {
+		return ""
+	}
+	s := append([]int(nil), bound...)
+	sort.Ints(s)
+	var b strings.Builder
+	for i, x := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
+}
+
+// patternKey canonicalizes a compiled pattern's structure: node labels in
+// index order plus edges as (src, dst, label) triples in index order. Two
+// patterns with equal keys are interchangeable for matching (variable names
+// play no role at this layer).
+func patternKey(cp *pattern.Compiled) string {
+	var b strings.Builder
+	for _, l := range cp.NodeLabels {
+		fmt.Fprintf(&b, "n%d;", l)
+	}
+	for i, e := range cp.Src.Edges {
+		fmt.Fprintf(&b, "e%d-%d-%d;", e.Src, e.Dst, cp.EdgeLabels[i])
+	}
+	return b.String()
+}
+
+// filterKey canonicalizes candidate filters: per node, the sorted predicate
+// set. Rules with equal pattern and filter keys generate identical candidate
+// streams and can share plans and prefix enumeration.
+func filterKey(f match.Filters) string {
+	if f == nil {
+		return "-"
+	}
+	var b strings.Builder
+	for node := range f {
+		preds := make([]string, len(f[node].Preds))
+		for i := range f[node].Preds {
+			preds[i] = predKey(&f[node].Preds[i])
+		}
+		sort.Strings(preds)
+		fmt.Fprintf(&b, "f%d[%s];", node, strings.Join(preds, ","))
+	}
+	return b.String()
+}
+
+// predKey canonicalizes one candidate predicate.
+func predKey(pr *match.AttrPred) string {
+	if pr.Const.IsStr {
+		return fmt.Sprintf("%d#%d#s:%q", pr.Attr, pr.Op, pr.Const.S)
+	}
+	return fmt.Sprintf("%d#%d#n:%s", pr.Attr, pr.Op, pr.Const.N.String())
+}

@@ -1,0 +1,199 @@
+package plan_test
+
+import (
+	"testing"
+
+	"ngd/internal/core"
+	"ngd/internal/detect"
+	"ngd/internal/expr"
+	"ngd/internal/gen"
+	"ngd/internal/graph"
+	"ngd/internal/pattern"
+	"ngd/internal/plan"
+)
+
+// skewedGraph builds a graph with a deliberately lopsided label
+// distribution: many `big` nodes, few `tiny` nodes, every tiny node linked
+// from every big node — so a frequency-aware planner must seed at `tiny`.
+func skewedGraph() (*graph.Graph, []graph.NodeID, []graph.NodeID) {
+	g := graph.New()
+	big := g.Symbols().Label("big")
+	tiny := g.Symbols().Label("tiny")
+	rel := g.Symbols().Label("rel")
+	var bigs, tinys []graph.NodeID
+	for i := 0; i < 60; i++ {
+		bigs = append(bigs, g.AddNodeL(big))
+	}
+	for i := 0; i < 3; i++ {
+		tinys = append(tinys, g.AddNodeL(tiny))
+	}
+	for _, b := range bigs {
+		for _, t := range tinys {
+			g.AddEdgeL(b, t, rel)
+		}
+	}
+	return g, bigs, tinys
+}
+
+func pairRule(name string) *core.NGD {
+	q := pattern.New()
+	x := q.AddNode("x", "big")
+	y := q.AddNode("y", "tiny")
+	q.AddEdge(x, y, "rel")
+	return core.MustNew(name, q, nil, []core.Literal{
+		core.Lit(expr.V("x", "v"), expr.Eq, expr.C(1)),
+	})
+}
+
+func TestCostPlanSeedsAtSelectiveNode(t *testing.T) {
+	g, _, _ := skewedGraph()
+	r := pairRule("pair")
+	prog := plan.New(g, core.NewSet(r), plan.Options{})
+	_, pl := prog.PlanFor(g, r, nil, true)
+	if len(pl.Steps) != 2 {
+		t.Fatalf("plan has %d steps, want 2", len(pl.Steps))
+	}
+	if pl.Steps[0].Node != 1 {
+		t.Fatalf("cost plan seeds at node %d (label big ×60); want 1 (tiny ×3)", pl.Steps[0].Node)
+	}
+	if pl.Steps[1].AnchorEdge != 0 {
+		t.Fatal("second step must anchor on the pattern edge")
+	}
+}
+
+func TestPlanCacheHitsMissesInvalidation(t *testing.T) {
+	g, bigs, tinys := skewedGraph()
+	r := pairRule("pair")
+	prog := plan.New(g, core.NewSet(r), plan.Options{ChurnThreshold: 8})
+
+	_, p1 := prog.PlanFor(g, r, nil, false)
+	_, p2 := prog.PlanFor(g, r, nil, false)
+	if p1 != p2 {
+		t.Fatal("second PlanFor did not serve the cached plan")
+	}
+	c := prog.Counters()
+	if c.Misses != 1 || c.Hits != 1 || c.Invalidations != 0 {
+		t.Fatalf("counters after warm lookup = %+v, want 1 miss / 1 hit", c)
+	}
+
+	// distinct keys: bound signature and pruning flag
+	prog.PlanFor(g, r, []int{0}, false)
+	prog.PlanFor(g, r, nil, true)
+	if c := prog.Counters(); c.Misses != 3 {
+		t.Fatalf("distinct (bound, pruning) keys should each miss once; counters %+v", c)
+	}
+
+	// churn past the threshold invalidates
+	rel := g.Symbols().Label("rel")
+	for i := 0; i < 20; i++ {
+		g.AddEdgeL(tinys[0], bigs[i], rel)
+	}
+	_, p3 := prog.PlanFor(g, r, nil, false)
+	if p3 == p1 {
+		t.Fatal("stale plan survived churn past the threshold")
+	}
+	if c := prog.Counters(); c.Invalidations != 1 {
+		t.Fatalf("counters after churn = %+v, want 1 invalidation", c)
+	}
+}
+
+func TestIdenticalRulesShareGroupAndPattern(t *testing.T) {
+	p := gen.YAGO2
+	set := core.NewSet(
+		gen.FollowerRule(p, 1), gen.FollowerRule(p, 2), gen.FollowerRule(p, 3),
+		gen.SumRule(0, 10), gen.SumRule(0, 11), gen.SumRule(1, 12),
+	)
+	ds := gen.Generate(p, 80, 3)
+	prog := plan.New(ds.G, set, plan.Options{})
+	c := prog.Counters()
+	if c.Rules != 6 {
+		t.Fatalf("rules = %d, want 6", c.Rules)
+	}
+	// follower×3 collapse to one group, sum-T0×2 to one, sum-T1 its own
+	if c.Groups != 3 {
+		t.Fatalf("groups = %d, want 3 (identical patterns+filters dedupe)", c.Groups)
+	}
+	a := prog.CompiledFor(set.Rules[0])
+	b := prog.CompiledFor(set.Rules[1])
+	if a.CP != b.CP {
+		t.Fatal("identical patterns must share one compiled instance")
+	}
+	_, pa := prog.PlanFor(ds.G, set.Rules[0], nil, false)
+	_, pb := prog.PlanFor(ds.G, set.Rules[1], nil, false)
+	if pa != pb {
+		t.Fatal("rules in one group must share cached plans")
+	}
+}
+
+func TestShareForestMergesPrefixes(t *testing.T) {
+	p := gen.YAGO2
+	// three identical-pattern rules plus two sum rules: the forest must be
+	// narrower than one path per rule
+	set := core.NewSet(
+		gen.FollowerRule(p, 1), gen.FollowerRule(p, 2), gen.FollowerRule(p, 3),
+		gen.SumRule(0, 10), gen.SumRule(0, 11),
+	)
+	ds := gen.Generate(p, 80, 3)
+	prog := plan.New(ds.G, set, plan.Options{})
+	sh := prog.ShareFor(ds.G, set, false)
+	if len(sh.Rules) != 5 {
+		t.Fatalf("forest holds %d rules, want 5", len(sh.Rules))
+	}
+	if got := len(sh.Root.Children); got >= 5 {
+		t.Fatalf("forest has %d root branches for 5 rules — no prefix merged", got)
+	}
+	if sh.SharedRules < 5 {
+		t.Fatalf("SharedRules = %d, want all 5 (both families overlap)", sh.SharedRules)
+	}
+	// memoized while plans are stable, rebuilt when the graph churns enough
+	if sh2 := prog.ShareFor(ds.G, set, false); sh2 != sh {
+		t.Fatal("stable ShareFor must memoize")
+	}
+}
+
+// TestSharedDectMatchesPerRule drives the shared forest end to end against
+// independent per-rule searches over a generated workload.
+func TestSharedDectMatchesPerRule(t *testing.T) {
+	p := gen.YAGO2
+	p.ErrorRate = 0.25
+	ds := gen.Generate(p, 120, 5)
+	rules := gen.Rules(p, gen.RuleConfig{Count: 21, MaxDiameter: 5, Seed: 5})
+
+	shared := detect.Dect(ds.G, rules, detect.Options{
+		Program: plan.New(ds.G, rules, plan.Options{}),
+	})
+	solo := detect.Dect(ds.G, rules, detect.Options{
+		Program: plan.New(ds.G, rules, plan.Options{NoSharing: true}),
+	})
+	if len(shared.Violations) == 0 {
+		t.Fatal("vacuous workload")
+	}
+	a := detect.VioKeySet(shared.Violations)
+	b := detect.VioKeySet(solo.Violations)
+	if len(a) != len(b) {
+		t.Fatalf("shared found %d violations, per-rule %d", len(a), len(b))
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			t.Fatalf("shared-only violation %s", k)
+		}
+	}
+	if shared.Counters.Candidates > solo.Counters.Candidates {
+		t.Fatalf("sharing scanned more candidates (%d) than per-rule search (%d)",
+			shared.Counters.Candidates, solo.Counters.Candidates)
+	}
+	t.Logf("candidates: shared %d vs per-rule %d", shared.Counters.Candidates, solo.Counters.Candidates)
+}
+
+func TestForPattern(t *testing.T) {
+	g, _, _ := skewedGraph()
+	q := pattern.New()
+	q.AddNode("a", "big")
+	q.AddNode("b", "tiny")
+	q.AddEdge(0, 1, "rel")
+	cp := pattern.Compile(q, g.Symbols())
+	pl := plan.ForPattern(g, cp)
+	if len(pl.Steps) != 2 || pl.Steps[0].Node != 1 {
+		t.Fatalf("ForPattern plan = %+v, want tiny-seeded 2-step plan", pl.Steps)
+	}
+}

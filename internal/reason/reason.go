@@ -30,6 +30,7 @@ import (
 	"ngd/internal/graph"
 	"ngd/internal/match"
 	"ngd/internal/pattern"
+	"ngd/internal/plan"
 	"ngd/internal/solver"
 )
 
@@ -193,8 +194,8 @@ func consistentCanonical(rules *core.Set, pats []*pattern.Pattern, negate *core.
 	var obligations []implication
 	for _, r := range rules.Rules {
 		cp := pattern.Compile(r.Pattern, g.Symbols())
-		plan := match.BuildPlan(cp, nil, match.GraphSelectivity(g, cp))
-		mr := match.NewMatcher(g, plan, match.Hooks{})
+		pl := plan.ForPattern(g, cp)
+		mr := match.NewMatcher(g, pl, match.Hooks{})
 		over := false
 		mr.Run(match.NewPartial(len(r.Pattern.Nodes)), func(sol []graph.NodeID) bool {
 			obligations = append(obligations, implication{rule: r, m: append(core.Match(nil), sol...)})

