@@ -6,7 +6,10 @@
 package ngd_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 
 	"ngd/internal/core"
@@ -32,6 +35,15 @@ type benchWorkload struct {
 	rules *core.Set
 	delta *graph.Delta
 	after *graph.Overlay
+}
+
+// sim pins an options value to the deterministic virtual-time driver: the
+// fig4 benchmarks report simulated makespan_units, which must stay
+// machine-independent now that the engine defaults to the wall-clock shard
+// runtime. BenchmarkShardScaling is the wall-clock counterpart.
+func sim(o par.Options) par.Options {
+	o.Virtual = true
+	return o
 }
 
 func mkBench(p gen.Profile, deltaFrac float64, seed int64) benchWorkload {
@@ -69,14 +81,14 @@ func benchVaryDelta(b *testing.B, p gen.Profile, frac float64) {
 	b.Run("PDect", func(b *testing.B) {
 		var span float64
 		for i := 0; i < b.N; i++ {
-			span = par.PDect(w.after, w.rules, par.Hybrid(8)).Metrics.Makespan
+			span = par.PDect(w.after, w.rules, sim(par.Hybrid(8))).Metrics.Makespan
 		}
 		b.ReportMetric(span, "makespan_units")
 	})
 	b.Run("PIncDect", func(b *testing.B) {
 		var span float64
 		for i := 0; i < b.N; i++ {
-			span = par.PIncDect(w.ds.G, w.rules, w.delta, par.Hybrid(8)).Metrics.Makespan
+			span = par.PIncDect(w.ds.G, w.rules, w.delta, sim(par.Hybrid(8))).Metrics.Makespan
 		}
 		b.ReportMetric(span, "makespan_units")
 	})
@@ -174,14 +186,14 @@ func benchVaryP(b *testing.B, p gen.Profile) {
 		b.Run(fmt.Sprintf("p%d/hybrid", workers), func(b *testing.B) {
 			var span float64
 			for i := 0; i < b.N; i++ {
-				span = par.PIncDect(w.ds.G, w.rules, w.delta, par.Hybrid(workers)).Metrics.Makespan
+				span = par.PIncDect(w.ds.G, w.rules, w.delta, sim(par.Hybrid(workers))).Metrics.Makespan
 			}
 			b.ReportMetric(span, "makespan_units")
 		})
 		b.Run(fmt.Sprintf("p%d/NO", workers), func(b *testing.B) {
 			var span float64
 			for i := 0; i < b.N; i++ {
-				span = par.PIncDect(w.ds.G, w.rules, w.delta, par.VariantNO(workers)).Metrics.Makespan
+				span = par.PIncDect(w.ds.G, w.rules, w.delta, sim(par.VariantNO(workers))).Metrics.Makespan
 			}
 			b.ReportMetric(span, "makespan_units")
 		})
@@ -197,7 +209,7 @@ func BenchmarkFig4lVaryPSynthetic(b *testing.B) { benchVaryP(b, gen.Synthetic) }
 func BenchmarkFig4mVaryC(b *testing.B) {
 	w := mkBench(gen.Pokec, 0.15, 1)
 	for _, c := range []int{20, 60, 100} {
-		opts := par.Hybrid(8)
+		opts := sim(par.Hybrid(8))
 		opts.C = c
 		b.Run(fmt.Sprintf("C%d", c), func(b *testing.B) {
 			var span float64
@@ -213,7 +225,7 @@ func BenchmarkFig4mVaryC(b *testing.B) {
 func BenchmarkFig4nVaryIntvl(b *testing.B) {
 	w := mkBench(gen.YAGO2, 0.15, 1)
 	for _, iv := range []float64{700, 2100, 3500} {
-		opts := par.Hybrid(8)
+		opts := sim(par.Hybrid(8))
 		opts.Intvl = iv
 		b.Run(fmt.Sprintf("intvl%.0f", iv), func(b *testing.B) {
 			var span float64
@@ -426,4 +438,87 @@ func BenchmarkPlanProgram(b *testing.B) {
 		}
 		b.ReportMetric(work, "cost_units")
 	})
+}
+
+// BenchmarkShardScaling measures real elapsed time of PDect and PIncDect on
+// the persistent shard pool (the goroutine driver, engine default) at
+// p = 1, 2, 4 and, on larger hosts, NumCPU — and emits the series as
+// machine-readable JSON to BENCH_shards.json, the same schema `ngdbench
+// shards` writes at full scale. host_cores is recorded because the numbers
+// are wall-clock: a single-core host shows a flat curve by physics, not by
+// regression. CI runs this at -benchtime 1x and fails the build if the
+// emitted JSON is malformed or missing keys.
+func BenchmarkShardScaling(b *testing.B) {
+	w := mkBench(gen.Pokec, 0.15, 1)
+	norm := w.delta.Normalize(w.ds.G)
+
+	ps := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		ps = append(ps, n)
+	}
+	type point struct {
+		P               int     `json:"p"`
+		PDectMS         float64 `json:"pdect_ms"`
+		PIncDectMS      float64 `json:"pincdect_ms"`
+		PDectSpeedup    float64 `json:"pdect_speedup"`
+		PIncDectSpeedup float64 `json:"pincdect_speedup"`
+	}
+	report := struct {
+		Experiment  string  `json:"experiment"`
+		HostCores   int     `json:"host_cores"`
+		Gomaxprocs  int     `json:"gomaxprocs"`
+		Profile     string  `json:"profile"`
+		Entities    int     `json:"entities"`
+		Rules       int     `json:"rules"`
+		DeltaFrac   float64 `json:"delta_frac"`
+		Series      []point `json:"series"`
+		GeneratedBy string  `json:"generated_by"`
+	}{
+		Experiment: "shards", HostCores: runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0), Profile: gen.Pokec.Name,
+		Entities: benchEntities, Rules: benchRules, DeltaFrac: 0.15,
+		GeneratedBy: "go test -bench ShardScaling",
+	}
+
+	for _, p := range ps {
+		pool := par.NewPool(p)
+		opts := par.Hybrid(p)
+		opts.Pool = pool
+		opts.AssumeNormalized = true
+		pt := point{P: p, PDectSpeedup: 1, PIncDectSpeedup: 1}
+
+		b.Run(fmt.Sprintf("p%d/PDect", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				par.PDect(w.after, w.rules, opts)
+			}
+			pt.PDectMS = float64(b.Elapsed().Microseconds()) / float64(b.N) / 1000
+		})
+		b.Run(fmt.Sprintf("p%d/PIncDect", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				par.PIncDect(w.ds.G, w.rules, norm, opts)
+			}
+			pt.PIncDectMS = float64(b.Elapsed().Microseconds()) / float64(b.N) / 1000
+		})
+		pool.Close()
+
+		if len(report.Series) > 0 {
+			base := report.Series[0]
+			if pt.PDectMS > 0 {
+				pt.PDectSpeedup = base.PDectMS / pt.PDectMS
+			}
+			if pt.PIncDectMS > 0 {
+				pt.PIncDectSpeedup = base.PIncDectMS / pt.PIncDectMS
+			}
+		}
+		report.Series = append(report.Series, pt)
+	}
+
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal shard series: %v", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile("BENCH_shards.json", raw, 0o644); err != nil {
+		b.Fatalf("write BENCH_shards.json: %v", err)
+	}
 }

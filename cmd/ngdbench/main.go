@@ -15,21 +15,25 @@
 //
 // where experiment is one of: fig4a fig4b fig4c fig4d fig4e fig4f fig4g
 // fig4h fig4i fig4j fig4k fig4l fig4m fig4n exp5 reason stream serve
-// recover plan all
+// recover plan shards all
 //
-// stream, serve, recover and plan are the serving-layer experiments beyond
-// the paper: stream replays a seeded burst-skewed update stream through a
-// continuous detection session against the recompute-from-scratch
-// baseline; serve measures snapshot-isolated read latency under a
-// concurrent writer plus incremental partition maintenance; recover
-// measures durable-store crash recovery (snapshot decode + WAL replay,
-// internal/store) against the cold-boot seeding detection run.
+// stream, serve, recover, plan and shards are the serving-layer
+// experiments beyond the paper: stream replays a seeded burst-skewed
+// update stream through a continuous detection session against the
+// recompute-from-scratch baseline; serve measures snapshot-isolated read
+// latency under a concurrent writer plus incremental partition
+// maintenance; recover measures durable-store crash recovery (snapshot
+// decode + WAL replay, internal/store) against the cold-boot seeding
+// detection run; shards measures wall-clock scaling of the goroutine
+// shard runtime at p = 1..8 and writes BENCH_shards.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -60,6 +64,7 @@ var (
 	batchPct  = flag.Int("batchpct", 5, "stream: batch size as % of |E|")
 	streamPar = flag.Bool("stream-par", false, "stream: route batches through PIncDect")
 	nReaders  = flag.Int("readers", 8, "serve: concurrent snapshot readers")
+	shardsOut = flag.String("shards-out", "BENCH_shards.json", "shards: machine-readable output path")
 )
 
 func main() {
@@ -90,10 +95,11 @@ func main() {
 		"serve":   serveExp,
 		"recover": recoverExp,
 		"plan":    planExp,
+		"shards":  shardsExp,
 	}
 	if exp == "all" {
 		for _, name := range []string{"fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
-			"fig4g", "fig4h", "fig4i", "fig4j", "fig4k", "fig4l", "fig4m", "fig4n", "exp5", "reason", "stream", "serve", "recover", "plan"} {
+			"fig4g", "fig4h", "fig4i", "fig4j", "fig4k", "fig4l", "fig4m", "fig4n", "exp5", "reason", "stream", "serve", "recover", "plan", "shards"} {
 			experiments[name]()
 			fmt.Println()
 		}
@@ -111,6 +117,15 @@ func main() {
 
 // ku formats cost units in thousands.
 func ku(v float64) string { return fmt.Sprintf("%8.1f", v/1000) }
+
+// oracle pins an options value to the deterministic virtual-time driver.
+// The goroutine shard runtime is the engine default now, but every fig4
+// series reports simulated cost units, which must stay machine-independent
+// and reproducible; the `shards` experiment is the wall-clock counterpart.
+func oracle(o par.Options) par.Options {
+	o.Virtual = true
+	return o
+}
 
 type workload struct {
 	ds    *gen.Dataset
@@ -165,11 +180,11 @@ func varyDelta(p gen.Profile, pcts []int) {
 
 		dect := dectWork(after, w.rules)
 		incD := incWork(w.ds.G, w.rules, w.delta)
-		pdect := par.PDect(after, w.rules, par.Hybrid(8)).Metrics.Makespan
-		hyb := par.PIncDect(w.ds.G, w.rules, w.delta, par.Hybrid(8)).Metrics.Makespan
-		ns := par.PIncDect(w.ds.G, w.rules, w.delta, par.VariantNS(8)).Metrics.Makespan
-		nb := par.PIncDect(w.ds.G, w.rules, w.delta, par.VariantNB(8)).Metrics.Makespan
-		no := par.PIncDect(w.ds.G, w.rules, w.delta, par.VariantNO(8)).Metrics.Makespan
+		pdect := par.PDect(after, w.rules, oracle(par.Hybrid(8))).Metrics.Makespan
+		hyb := par.PIncDect(w.ds.G, w.rules, w.delta, oracle(par.Hybrid(8))).Metrics.Makespan
+		ns := par.PIncDect(w.ds.G, w.rules, w.delta, oracle(par.VariantNS(8))).Metrics.Makespan
+		nb := par.PIncDect(w.ds.G, w.rules, w.delta, oracle(par.VariantNB(8))).Metrics.Makespan
+		no := par.PIncDect(w.ds.G, w.rules, w.delta, oracle(par.VariantNO(8))).Metrics.Makespan
 		fmt.Printf("%-8d %s %s %s %s   %s   %s   %s\n",
 			pct, ku(dect), ku(incD), ku(pdect), ku(hyb), ku(ns), ku(nb), ku(no))
 	}
@@ -188,8 +203,8 @@ func varyG() {
 		after := graph.NewOverlay(w.ds.G, norm)
 		dect := dectWork(after, w.rules)
 		incD := incWork(w.ds.G, w.rules, w.delta)
-		pdect := par.PDect(after, w.rules, par.Hybrid(8)).Metrics.Makespan
-		hyb := par.PIncDect(w.ds.G, w.rules, w.delta, par.Hybrid(8)).Metrics.Makespan
+		pdect := par.PDect(after, w.rules, oracle(par.Hybrid(8))).Metrics.Makespan
+		hyb := par.PIncDect(w.ds.G, w.rules, w.delta, oracle(par.Hybrid(8))).Metrics.Makespan
 		fmt.Printf("%-16s %s %s %s %s\n",
 			fmt.Sprintf("%d/%d", st.Nodes, st.Edges), ku(dect), ku(incD), ku(pdect), ku(hyb))
 	}
@@ -206,8 +221,8 @@ func varySigma(p gen.Profile) {
 		after := graph.NewOverlay(w.ds.G, norm)
 		dect := dectWork(after, w.rules)
 		incD := incWork(w.ds.G, w.rules, w.delta)
-		pdect := par.PDect(after, w.rules, par.Hybrid(8)).Metrics.Makespan
-		hyb := par.PIncDect(w.ds.G, w.rules, w.delta, par.Hybrid(8)).Metrics.Makespan
+		pdect := par.PDect(after, w.rules, oracle(par.Hybrid(8))).Metrics.Makespan
+		hyb := par.PIncDect(w.ds.G, w.rules, w.delta, oracle(par.Hybrid(8))).Metrics.Makespan
 		fmt.Printf("%-8d %s %s %s %s\n", k, ku(dect), ku(incD), ku(pdect), ku(hyb))
 	}
 }
@@ -221,8 +236,8 @@ func varyDiameter() {
 		after := graph.NewOverlay(w.ds.G, norm)
 		dect := dectWork(after, w.rules)
 		incD := incWork(w.ds.G, w.rules, w.delta)
-		pdect := par.PDect(after, w.rules, par.Hybrid(8)).Metrics.Makespan
-		hyb := par.PIncDect(w.ds.G, w.rules, w.delta, par.Hybrid(8)).Metrics.Makespan
+		pdect := par.PDect(after, w.rules, oracle(par.Hybrid(8))).Metrics.Makespan
+		hyb := par.PIncDect(w.ds.G, w.rules, w.delta, oracle(par.Hybrid(8))).Metrics.Makespan
 		fmt.Printf("%-8d %s %s %s %s\n", d, ku(dect), ku(incD), ku(pdect), ku(hyb))
 	}
 }
@@ -236,11 +251,11 @@ func varyP(p gen.Profile) {
 	norm := w.delta.Normalize(w.ds.G)
 	after := graph.NewOverlay(w.ds.G, norm)
 	for _, pp := range []int{4, 8, 12, 16, 20} {
-		pdect := par.PDect(after, w.rules, par.Hybrid(pp)).Metrics.Makespan
-		hyb := par.PIncDect(w.ds.G, w.rules, w.delta, par.Hybrid(pp)).Metrics.Makespan
-		ns := par.PIncDect(w.ds.G, w.rules, w.delta, par.VariantNS(pp)).Metrics.Makespan
-		nb := par.PIncDect(w.ds.G, w.rules, w.delta, par.VariantNB(pp)).Metrics.Makespan
-		no := par.PIncDect(w.ds.G, w.rules, w.delta, par.VariantNO(pp)).Metrics.Makespan
+		pdect := par.PDect(after, w.rules, oracle(par.Hybrid(pp))).Metrics.Makespan
+		hyb := par.PIncDect(w.ds.G, w.rules, w.delta, oracle(par.Hybrid(pp))).Metrics.Makespan
+		ns := par.PIncDect(w.ds.G, w.rules, w.delta, oracle(par.VariantNS(pp))).Metrics.Makespan
+		nb := par.PIncDect(w.ds.G, w.rules, w.delta, oracle(par.VariantNB(pp))).Metrics.Makespan
+		no := par.PIncDect(w.ds.G, w.rules, w.delta, oracle(par.VariantNO(pp))).Metrics.Makespan
 		fmt.Printf("%-6d %s %s   %s   %s   %s\n", pp, ku(pdect), ku(hyb), ku(ns), ku(nb), ku(no))
 	}
 }
@@ -250,9 +265,9 @@ func varyC() {
 	fmt.Printf("# fig4m pokec: vary latency parameter C at p=8 (true latency 60); makespan kilounits\n")
 	fmt.Printf("%-6s %10s %12s\n", "C", "PIncDect", "PIncDect_nb")
 	for _, c := range []int{20, 40, 60, 80, 100} {
-		hy := par.Hybrid(8)
+		hy := oracle(par.Hybrid(8))
 		hy.C = c
-		nb := par.VariantNB(8)
+		nb := oracle(par.VariantNB(8))
 		nb.C = c
 		h := par.PIncDect(w.ds.G, w.rules, w.delta, hy).Metrics.Makespan
 		n := par.PIncDect(w.ds.G, w.rules, w.delta, nb).Metrics.Makespan
@@ -265,14 +280,109 @@ func varyIntvl() {
 	fmt.Printf("# fig4n yago2: vary balancing interval at p=8 (≈45 units per paper-second); makespan kilounits\n")
 	fmt.Printf("%-10s %10s %12s\n", "intvl", "PIncDect", "PIncDect_ns")
 	for _, iv := range []float64{700, 1400, 2100, 2800, 3500} {
-		hy := par.Hybrid(8)
+		hy := oracle(par.Hybrid(8))
 		hy.Intvl = iv
-		ns := par.VariantNS(8)
+		ns := oracle(par.VariantNS(8))
 		ns.Intvl = iv
 		h := par.PIncDect(w.ds.G, w.rules, w.delta, hy).Metrics.Makespan
 		n := par.PIncDect(w.ds.G, w.rules, w.delta, ns).Metrics.Makespan
 		fmt.Printf("%-10.0f %s   %s\n", iv, ku(h), ku(n))
 	}
+}
+
+// ---- shards: wall-clock scaling of the goroutine shard runtime ----
+
+// shardsExp measures real elapsed time of PDect and PIncDect executing on
+// a persistent shard pool at p = 1, 2, 4, 8 — the wall-clock counterpart
+// of the simulated fig4(i–l) curves — and writes the series as
+// machine-readable JSON (-shards-out, default BENCH_shards.json). Unlike
+// every other ngdbench number these are milliseconds on *this* host:
+// host_cores and gomaxprocs are recorded so a single-core container's flat
+// curve is not mistaken for a scaling regression. Each cell is the best of
+// three runs after a warm-up pass.
+func shardsExp() {
+	w := makeWorkload(gen.Pokec, *nEntities, *nRules, 5, 0.15, *seed)
+	norm := w.delta.Normalize(w.ds.G)
+	after := graph.NewOverlay(w.ds.G, norm)
+	st := w.ds.G.ComputeStats()
+
+	type point struct {
+		P               int     `json:"p"`
+		PDectMS         float64 `json:"pdect_ms"`
+		PIncDectMS      float64 `json:"pincdect_ms"`
+		PDectSpeedup    float64 `json:"pdect_speedup"`
+		PIncDectSpeedup float64 `json:"pincdect_speedup"`
+	}
+	report := struct {
+		Experiment  string  `json:"experiment"`
+		HostCores   int     `json:"host_cores"`
+		Gomaxprocs  int     `json:"gomaxprocs"`
+		Profile     string  `json:"profile"`
+		Entities    int     `json:"entities"`
+		Rules       int     `json:"rules"`
+		DeltaFrac   float64 `json:"delta_frac"`
+		Series      []point `json:"series"`
+		GeneratedBy string  `json:"generated_by"`
+	}{
+		Experiment: "shards", HostCores: runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0), Profile: gen.Pokec.Name,
+		Entities: *nEntities, Rules: *nRules, DeltaFrac: 0.15,
+		GeneratedBy: "ngdbench shards",
+	}
+
+	fmt.Printf("# shards %s: wall-clock scaling of the goroutine shard runtime on %d core(s)\n",
+		gen.Pokec.Name, runtime.NumCPU())
+	fmt.Printf("# |V|=%d |E|=%d, ‖Σ‖=%d, ΔG=15%%; best of 3 after warm-up\n",
+		st.Nodes, st.Edges, *nRules)
+	fmt.Printf("%-6s %12s %12s %10s %10s\n", "p", "PDect ms", "PIncDect ms", "PD spd", "PI spd")
+
+	timeIt := func(f func()) float64 {
+		f() // warm-up: pool goroutines parked, caches hot
+		best := 0.0
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now()
+			f()
+			if ms := float64(time.Since(t0).Microseconds()) / 1000; rep == 0 || ms < best {
+				best = ms
+			}
+		}
+		return best
+	}
+
+	for _, p := range []int{1, 2, 4, 8} {
+		pool := par.NewPool(p)
+		opts := par.Hybrid(p)
+		opts.Pool = pool
+		opts.Part = partition.Greedy(w.ds.G, p)
+		opts.AssumeNormalized = true
+
+		pd := timeIt(func() { par.PDect(after, w.rules, opts) })
+		pi := timeIt(func() { par.PIncDect(w.ds.G, w.rules, norm, opts) })
+		pool.Close()
+
+		pp := point{P: p, PDectMS: pd, PIncDectMS: pi, PDectSpeedup: 1, PIncDectSpeedup: 1}
+		if len(report.Series) > 0 {
+			base := report.Series[0]
+			pp.PDectSpeedup = base.PDectMS / pd
+			pp.PIncDectSpeedup = base.PIncDectMS / pi
+		}
+		report.Series = append(report.Series, pp)
+		fmt.Printf("%-6d %12.2f %12.2f %9.2fx %9.2fx\n",
+			p, pd, pi, pp.PDectSpeedup, pp.PIncDectSpeedup)
+	}
+
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shards: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*shardsOut, raw, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "shards: write %s: %v\n", *shardsOut, err)
+		os.Exit(1)
+	}
+	fmt.Printf("# wrote %s (host_cores=%d; wall-clock speedup needs real cores — CI runs this on multi-core runners)\n",
+		*shardsOut, runtime.NumCPU())
 }
 
 // ---- Exp-5: effectiveness ----
@@ -355,15 +465,17 @@ func streamExp() {
 	if *streamPar {
 		mode = "PIncDect p=8 (makespan units; scratch = PDect)"
 		scratchOf = func() float64 {
-			return par.PDect(ds.G, rules, par.Hybrid(8)).Metrics.Makespan
+			return par.PDect(ds.G, rules, oracle(par.Hybrid(8))).Metrics.Makespan
 		}
 	}
 	fmt.Printf("# stream %s: |V|=%d |E|=%d, ‖Σ‖=%d, %d batches of %d%% |E|, hotspot 0.55, via %s\n",
 		p.Name, st.Nodes, st.Edges, *nRules, *nBatches, *batchPct, mode)
 
+	// the virtual oracle keeps the inc/scratch columns in deterministic
+	// cost units; `ngdbench shards` is the wall-clock counterpart
 	sess := session.New(ds.G, rules, session.Options{
 		Parallel: *streamPar,
-		Par:      par.Hybrid(8),
+		Par:      oracle(par.Hybrid(8)),
 	})
 	fmt.Printf("# seeded store: %d violations\n", sess.Len())
 	fmt.Printf("%-6s %7s %7s %6s %6s %7s %8s %10s %10s\n",
@@ -578,6 +690,7 @@ func serveExp() {
 		t0 = time.Now()
 		partition.Greedy(ds2.G, 8)
 		rebuildWall := time.Since(t0)
+		sess2.Close()
 
 		ratio := float64(rebuildWall) / float64(max(1, int(maintainWall)))
 		fmt.Printf("%-16s %10.2f %14.3f %14.3f %9.0fx\n",

@@ -82,7 +82,7 @@ func runBatch(g *ngd.Graph, rules *ngd.RuleSet) {
 		opts.Limit = *limit
 		res, met := ngd.PDetect(g, rules, opts)
 		vios = res.Violations
-		fmt.Printf("PDect p=%d: %d work units, simulated makespan %.0f\n",
+		fmt.Printf("PDect p=%d: %d work units, makespan %.0f cost units\n",
 			*workers, met.Units, met.Makespan)
 	} else if *limit > 0 {
 		vios = ngd.DetectLimit(g, rules, *limit).Violations
@@ -99,7 +99,7 @@ func runIncremental(g *ngd.Graph, rules *ngd.RuleSet, delta *ngd.Delta) {
 	if *workers > 1 {
 		res, met := ngd.PIncDetect(g, rules, delta, ngd.Parallel(*workers))
 		dv = res
-		fmt.Printf("PIncDect p=%d: %d work units, %d splits, %d moved, simulated makespan %.0f\n",
+		fmt.Printf("PIncDect p=%d: %d work units, %d splits, %d moved, makespan %.0f cost units\n",
 			*workers, met.Units, met.Splits, met.Moved, met.Makespan)
 	} else {
 		dv = ngd.IncDetect(g, rules, delta)

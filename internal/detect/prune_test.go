@@ -231,13 +231,12 @@ func TestPruningDifferentialParallel(t *testing.T) {
 				keyLines(pinc.Delta.Minus) != keyLines(incBase.Minus) {
 				t.Fatal("pruned PIncDect disagrees with unpruned IncDect")
 			}
-			// the goroutine driver shares the same pruned matcher paths
-			real := par.Hybrid(4)
-			real.Real = true
-			preal := par.PIncDect(w.ds.G, w.rules, d, real)
-			if keyLines(preal.Delta.Plus) != keyLines(incBase.Plus) ||
-				keyLines(preal.Delta.Minus) != keyLines(incBase.Minus) {
-				t.Fatal("pruned PIncDect (goroutine driver) disagrees with unpruned IncDect")
+			// the virtual oracle shares the same pruned matcher paths
+			// (par.Hybrid above already ran the default goroutine driver)
+			pvirt := par.PIncDect(w.ds.G, w.rules, d, par.Oracle(4))
+			if keyLines(pvirt.Delta.Plus) != keyLines(incBase.Plus) ||
+				keyLines(pvirt.Delta.Minus) != keyLines(incBase.Minus) {
+				t.Fatal("pruned PIncDect (virtual driver) disagrees with unpruned IncDect")
 			}
 		})
 	}

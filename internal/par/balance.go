@@ -1,0 +1,63 @@
+package par
+
+// Shared balancing arithmetic for the two drivers. The paper's monitoring
+// round (§6.3) is: workers whose load exceeds η× the average shed from the
+// front of their queue (the oldest, shallowest units — the biggest
+// subtrees), receivers below η′× the average accept at most their deficit.
+// Loads are measured in estimated unit cost (engine.unitWeight), which the
+// maintained LiveStats turn into subtree size; without stats every unit
+// weighs 1 and this is exactly the count-based scheme. Both drivers call
+// these helpers so their transfer decisions are identical by construction —
+// the balancer property tests run the same tables through both.
+
+import "math"
+
+// balTarget is one under-loaded worker and the load it can still accept.
+type balTarget struct {
+	idx     int
+	deficit float64
+}
+
+// balReceivers selects the workers below the low-water mark η′·avg, each
+// capped at its deficit ⌊avg − load⌋ so a transfer never turns a receiver
+// into the next straggler.
+func balReceivers(loads []float64, avg, etaLow float64) []*balTarget {
+	var ts []*balTarget
+	for i, l := range loads {
+		if l < etaLow*avg {
+			if def := math.Floor(avg - l); def > 0 {
+				ts = append(ts, &balTarget{i, def})
+			}
+		}
+	}
+	return ts
+}
+
+// shedAssign walks the sender's queue from the front, assigning each unit
+// round-robin to a receiver with remaining deficit, until the shed weight
+// reaches excess or every deficit is exhausted. It returns how many front
+// units to take and their destination worker per unit, and decrements the
+// targets' deficits in place (senders drain a shared receiver budget).
+func shedAssign(q []*unit, excess float64, targets []*balTarget, weigh func(*unit) float64) (int, []int) {
+	var dest []int
+	acc := 0.0
+	ti := 0
+	for _, u := range q {
+		if acc >= excess {
+			break
+		}
+		hops := 0
+		for targets[ti].deficit <= 0 {
+			ti = (ti + 1) % len(targets)
+			if hops++; hops > len(targets) {
+				return len(dest), dest
+			}
+		}
+		w := weigh(u)
+		dest = append(dest, targets[ti].idx)
+		targets[ti].deficit -= w
+		acc += w
+		ti = (ti + 1) % len(targets)
+	}
+	return len(dest), dest
+}

@@ -5,6 +5,7 @@ import (
 
 	"ngd/internal/detect"
 	"ngd/internal/gen"
+	"ngd/internal/graph"
 	"ngd/internal/inc"
 	"ngd/internal/partition"
 	"ngd/internal/update"
@@ -150,6 +151,124 @@ func TestGBalanceFrontShedAndDeficits(t *testing.T) {
 	}
 }
 
+// balScenario is one monitoring-round table entry, run through BOTH
+// drivers' balance rounds. Every unit weighs 1 (no maintained stats), so
+// the arithmetic is checkable by hand: avg = total/p, senders above η·avg
+// shed ⌊load − avg⌋, receivers below η′·avg accept ⌊avg − load⌋.
+type balScenario struct {
+	name      string
+	sender    int   // units on the overloaded worker 0
+	recv      []int // resident units on workers 1..
+	wantMoved int
+}
+
+var balScenarios = []balScenario{
+	// the pinned case above: avg 6.25, deficits 6/3/4, excess 13
+	{"pinned-20-recv-0-3-2", senderLoad, recvLoads, wantMoved},
+	// single hot shard at p=8: avg 8.75, 7 receivers × deficit 8 = 56,
+	// excess ⌊61.25⌋ = 61 capped by the exhausted deficits
+	{"single-hot-shard-p8", 70, []int{0, 0, 0, 0, 0, 0, 0}, 56},
+	// deficits and excess meet exactly: avg 8, 4 × deficit 8 = 32 = excess
+	{"deficits-exhaust-exactly", 40, []int{0, 0, 0, 0}, 32},
+	// mixed receivers: avg 14.5, only loads 0 and 1 are under η′·avg
+	// (deficits 14 + 13 = 27 < excess 35)
+	{"mixed-receivers", 50, []int{0, 12, 1, 12, 12}, 27},
+	// near-even loads: nobody above η·avg, nobody below η′·avg — no-op
+	{"no-skew-no-op", 12, []int{10, 11, 9}, 0},
+}
+
+func unitIDs(q []*unit) []int {
+	ids := make([]int, len(q))
+	for i, u := range q {
+		ids[i] = u.pivotRank
+	}
+	return ids
+}
+
+// TestBalanceTableBothDrivers runs each scenario through gbalance AND
+// vbalance and asserts the two drivers make byte-identical transfer
+// decisions: same moved count, same per-worker unit sequences afterwards.
+// The decisions come from the shared balance.go helpers, so any divergence
+// here is a driver bug, not a policy difference.
+func TestBalanceTableBothDrivers(t *testing.T) {
+	for _, sc := range balScenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			p := 1 + len(sc.recv)
+			e := &engine{opts: Options{P: p}.Defaults()}
+
+			gws := make([]*gworker, p)
+			vws := make([]*vworker, p)
+			for i := 0; i < p; i++ {
+				gws[i] = &gworker{wake: make(chan struct{}, 1)}
+				vws[i] = &vworker{}
+			}
+			for _, u := range mkUnits(sc.sender) {
+				gws[0].q = append(gws[0].q, u)
+			}
+			for _, u := range mkUnits(sc.sender) {
+				vws[0].push(u)
+			}
+			for i, n := range sc.recv {
+				for j := 0; j < n; j++ {
+					gws[i+1].q = append(gws[i+1].q, &unit{pivotRank: -(100*i + j + 1)})
+					vws[i+1].push(&unit{pivotRank: -(100*i + j + 1)})
+				}
+			}
+
+			if moved := e.gbalance(gws); moved != sc.wantMoved {
+				t.Errorf("gbalance moved %d units, want %d", moved, sc.wantMoved)
+			}
+			if moved := e.vbalance(vws, 1000); moved != sc.wantMoved {
+				t.Errorf("vbalance moved %d units, want %d", moved, sc.wantMoved)
+			}
+			for i := 0; i < p; i++ {
+				gids := unitIDs(gws[i].q)
+				vids := unitIDs(vws[i].q[vws[i].head:])
+				if len(gids) != len(vids) {
+					t.Fatalf("worker %d: goroutine driver holds %d units, virtual holds %d",
+						i, len(gids), len(vids))
+				}
+				for k := range gids {
+					if gids[k] != vids[k] {
+						t.Fatalf("worker %d position %d: goroutine driver has unit %d, virtual has %d",
+							i, k, gids[k], vids[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerFoldsFragments: p greater than the partition's fragment count
+// folds shard ownership (partition.Worker = Owner mod p), so the extra
+// shards start empty and rebalancing has to fill them — the run must stay
+// exact under both drivers.
+func TestWorkerFoldsFragments(t *testing.T) {
+	ds := gen.Generate(gen.YAGO2, 200, 81)
+	rules := gen.Rules(gen.YAGO2, gen.RuleConfig{Count: 8, MaxDiameter: 4, Seed: 81})
+	pt := partition.Greedy(ds.G, 3) // 3 fragments, 8 shards
+
+	for v := 0; v < ds.G.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if w := pt.Worker(id, 8); w != pt.Owner(id)%8 || w < 0 || w >= 8 {
+			t.Fatalf("Worker(%d, 8) = %d, owner %d", v, w, pt.Owner(id))
+		}
+		if pt.Worker(id, 0) != 0 {
+			t.Fatalf("Worker(%d, p<1) must fold to shard 0", v)
+		}
+	}
+
+	d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.15), Gamma: 1, Seed: 82})
+	want := inc.IncDect(ds.G, rules, d, inc.Options{})
+	for _, opts := range []Options{Hybrid(8), Oracle(8)} {
+		opts.Part = pt
+		got := PIncDect(ds.G, rules, d, opts)
+		if !equalKeys(got.Delta.Plus, want.Plus) || !equalKeys(got.Delta.Minus, want.Minus) {
+			t.Errorf("PIncDect(p=8 over 3 fragments, virtual=%v) diverges from IncDect", opts.Virtual)
+		}
+	}
+}
+
 // TestRealDriverDifferentialP3: PDect and PIncDect under the goroutine
 // driver at p=3 produce exactly the sequential answers (run under -race in
 // CI; odd p exercises the round-robin broadcast paths).
@@ -158,8 +277,7 @@ func TestRealDriverDifferentialP3(t *testing.T) {
 	rules := gen.Rules(gen.Pokec, gen.RuleConfig{Count: 10, MaxDiameter: 4, Seed: 41})
 	d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.12), Gamma: 1, Seed: 42})
 
-	opts := Hybrid(3)
-	opts.Real = true
+	opts := Hybrid(3) // the goroutine driver is the default
 
 	wantBatch := detect.Dect(ds.G, rules, detect.Options{}).Violations
 	gotBatch := PDect(ds.G, rules, opts)

@@ -7,17 +7,22 @@
 //
 // Two drivers execute the same work-unit semantics:
 //
-//   - the virtual driver (default): a deterministic discrete-event
+//   - the goroutine driver (default): p real worker goroutines — the shard
+//     runtime — with per-worker queues and a periodic balancer, for
+//     wall-clock use. Long-lived callers (the session/serve layer) hand in
+//     a persistent Pool so the shard goroutines survive across calls
+//     instead of being respawned per batch.
+//
+//   - the virtual driver (Options.Virtual): a deterministic discrete-event
 //     simulation of p workers whose per-unit costs are the real adjacency
 //     scans and edge checks performed, plus a fixed communication latency
 //     per broadcast/transfer. It reports the simulated makespan
 //     (max worker clock), which reproduces the paper's relative curves —
 //     speedup vs p, the U-shaped optima in C and intvl — independently of
 //     how many physical cores the host has. (Substitution for the paper's
-//     20-machine cluster; see DESIGN.md.)
-//
-//   - the goroutine driver: p real worker goroutines with per-worker
-//     queues and a periodic balancer, for wall-clock use.
+//     20-machine cluster; see DESIGN.md.) It is the oracle the shard
+//     runtime's differential tests compare against: with the same options
+//     both drivers expand the exact same unit multiset.
 //
 // Both produce identical violation sets, equal to the sequential
 // algorithms' output.
@@ -58,8 +63,16 @@ type Options struct {
 	SplitUnits bool
 	// Balance enables periodic redistribution (off = _nb).
 	Balance bool
-	// Real runs the goroutine driver instead of the virtual-time one.
-	Real bool
+	// Virtual runs the deterministic virtual-time driver instead of the
+	// goroutine shard runtime. The zero value — the default — is the real
+	// driver; the virtual driver is the machine-independent oracle used by
+	// differential tests and the fig4 cost-unit benchmarks.
+	Virtual bool
+	// Pool executes goroutine-driver runs on a persistent shard pool
+	// (see NewPool) instead of spawning workers per call. Ignored by the
+	// virtual driver. A nil, closed, or differently-sized pool falls back
+	// to per-call workers, so correctness never depends on pool state.
+	Pool *Pool
 	// NoPruning disables index-backed candidate pruning (see
 	// detect.Options.NoPruning).
 	NoPruning bool
@@ -146,6 +159,15 @@ func VariantNO(p int) Options {
 	return o
 }
 
+// Oracle returns the hybrid configuration pinned to the virtual-time
+// driver: the deterministic discrete-event simulation used as the
+// machine-independent reference by tests and the fig4 benchmarks.
+func Oracle(p int) Options {
+	o := Hybrid(p)
+	o.Virtual = true
+	return o
+}
+
 // Metrics summarize a parallel run.
 type Metrics struct {
 	// Makespan is the simulated parallel time (max worker clock, cost
@@ -191,9 +213,15 @@ type unit struct {
 	pivotRank int // -1 for batch units
 	pivotSlot int
 	partial   []graph.NodeID
-	lo, hi    int     // candidate segment; (0,-1) = full list
-	bcast     bool    // this unit is a broadcast share (charges latency)
-	ready     float64 // virtual time at which the unit is available
+	// ySatR is the per-rule literal state of a shared-forest unit, aligned
+	// with its ShareNode.Rules (-1 = the rule pruned on this path); nil for
+	// per-rule task units, whose state is the scalar ySat above. In forest
+	// mode `task` indexes engine.snodes and `partial` holds the path
+	// bindings in step order rather than pattern-node order.
+	ySatR  []int
+	lo, hi int     // candidate segment; (0,-1) = full list
+	bcast  bool    // this unit is a broadcast share (charges latency)
+	ready  float64 // virtual time at which the unit is available
 	// xferCharge is the communication cost of a rebalancing transfer,
 	// charged when the receiving worker processes the unit.
 	xferCharge float64
@@ -212,6 +240,28 @@ type engine struct {
 	delIdx map[edgeKey]int
 	// matchers are per-worker per-task to keep counters race-free.
 	matchers [][]*match.Matcher
+
+	// estWidth/estBelow are the LiveStats-driven cost estimates, per task
+	// per depth: estWidth[t][d] ≈ candidates scanned by step d of task t's
+	// plan per expansion, estBelow[t][d] ≈ the expected scan cost of the
+	// whole subtree under one candidate bound at d. nil when the view
+	// carries no maintained statistics; splitting and balancing then fall
+	// back to the paper's unweighted forms.
+	estWidth [][]float64
+	estBelow [][]float64
+
+	// Shared-forest state (batch PDect under cross-rule sharing): when
+	// share is non-nil the engine runs forest units — unit.task indexes
+	// snodes — and the per-rule task fields above stay empty. See shared.go.
+	share     *plan.Share
+	snodes    []*plan.ShareNode
+	nodeOf    map[*plan.ShareNode]int
+	sles      []*detect.LitEval
+	sview     graph.View
+	sWidth    []float64 // per forest node: entering-step fan estimate
+	sBelow    []float64 // per forest node: est cost below one candidate
+	smatchers [][]*match.Matcher  // per worker per share rule (lazy)
+	spartials [][][]graph.NodeID  // per worker per share rule scratch
 }
 
 func newEngine(opts Options, tasks []task) *engine {
@@ -224,7 +274,17 @@ func newEngine(opts Options, tasks []task) *engine {
 		}
 		e.matchers[w] = ms
 	}
+	e.buildEstimates()
 	return e
+}
+
+// sideOf maps a unit to its Limit tally slot; forest units are batch-only
+// (single side).
+func (e *engine) sideOf(u *unit) int {
+	if e.share != nil {
+		return 0
+	}
+	return sideIdx(e.tasks[u.task].plus)
 }
 
 // smallestPivot mirrors inc.smallestPivot for the parallel engine.
@@ -269,10 +329,62 @@ type expandResult struct {
 	split    bool
 }
 
+// splitWanted applies the paper's split rule C·(k+1) + |adj|/p < |adj|
+// (§6.3), with |adj| scaled by the LiveStats estimate of the subtree below
+// each candidate: a scan whose candidates each open deep subtrees is worth
+// broadcasting even when the scan itself is modest. With no maintained
+// statistics (below = 0) this reduces to the paper's literal form.
+func (e *engine) splitWanted(cnt, depth int, below float64) bool {
+	if cnt < 2*e.opts.P {
+		return false
+	}
+	sub := float64(cnt) * (1 + below)
+	par := float64(e.opts.C)*float64(depth+1) + sub/float64(e.opts.P)
+	return par < sub
+}
+
+// taskBelow is the subtree estimate for a per-rule task unit (0 without
+// stats).
+func (e *engine) taskBelow(t, d int) float64 {
+	if e.estBelow == nil || e.estBelow[t] == nil || d >= len(e.estBelow[t]) {
+		return 0
+	}
+	return e.estBelow[t][d]
+}
+
+// unitWeight estimates a queued unit's remaining cost for the balancer's
+// skew measure: entering-scan width × (1 + subtree below). Segment units
+// use their actual [lo,hi) width. Without maintained statistics every unit
+// weighs 1 and the weighted balancer degenerates to the count-based one.
+func (e *engine) unitWeight(u *unit) float64 {
+	var width, below float64
+	switch {
+	case e.share != nil:
+		if e.sBelow == nil {
+			return 1
+		}
+		width, below = e.sWidth[u.task], e.sBelow[u.task]
+	case e.estBelow != nil && e.estBelow[u.task] != nil && u.depth < len(e.estBelow[u.task]):
+		width, below = e.estWidth[u.task][u.depth], e.estBelow[u.task][u.depth]
+	default:
+		return 1
+	}
+	if u.hi >= 0 {
+		width = float64(u.hi - u.lo)
+	}
+	if w := width * (1 + below); w > 1 {
+		return w
+	}
+	return 1
+}
+
 // expand processes unit u on worker w. When splitting is enabled and the
 // candidate list is large enough that C·(k+1) + |adj|/p < |adj| (§6.3), the
 // unit is split into p broadcast shares instead of being scanned locally.
 func (e *engine) expand(w int, u *unit) expandResult {
+	if e.share != nil {
+		return e.expandShared(w, u)
+	}
 	t := &e.tasks[u.task]
 	m := e.matchers[w][u.task]
 	var res expandResult
@@ -294,9 +406,7 @@ func (e *engine) expand(w int, u *unit) expandResult {
 	// split decision (only for full-range units)
 	if e.opts.SplitUnits && !u.bcast && u.lo == 0 && u.hi < 0 {
 		cnt := m.CandidateCount(u.depth, u.partial)
-		seq := float64(cnt)
-		par := float64(e.opts.C)*float64(u.depth+1) + float64(cnt)/float64(e.opts.P)
-		if par < seq && cnt >= 2*e.opts.P {
+		if e.splitWanted(cnt, u.depth, e.taskBelow(u.task, u.depth)) {
 			res.split = true
 			share := (cnt + e.opts.P - 1) / e.opts.P
 			for i := 0; i < e.opts.P; i++ {

@@ -48,11 +48,9 @@ func TestPDectMatchesDect(t *testing.T) {
 				opts.SplitUnits, opts.Balance, opts.P, len(got.Violations), len(want))
 		}
 	}
-	real := Hybrid(4)
-	real.Real = true
-	got := PDect(ds.G, rules, real)
+	got := PDect(ds.G, rules, Oracle(4))
 	if !equalKeys(got.Violations, want) {
-		t.Errorf("PDect goroutine driver = %d violations, want %d", len(got.Violations), len(want))
+		t.Errorf("PDect virtual driver = %d violations, want %d", len(got.Violations), len(want))
 	}
 }
 
@@ -79,11 +77,9 @@ func TestPIncDectMatchesIncDect(t *testing.T) {
 					trial, opts.SplitUnits, opts.Balance, opts.P, len(got.Delta.Minus), len(want.Minus))
 			}
 		}
-		real := Hybrid(4)
-		real.Real = true
-		got := PIncDect(ds.G, rules, d, real)
+		got := PIncDect(ds.G, rules, d, Oracle(4))
 		if !equalKeys(got.Delta.Plus, want.Plus) || !equalKeys(got.Delta.Minus, want.Minus) {
-			t.Errorf("trial %d goroutine driver mismatch", trial)
+			t.Errorf("trial %d virtual driver mismatch", trial)
 		}
 	}
 }
@@ -95,8 +91,8 @@ func TestVirtualDeterminism(t *testing.T) {
 	rules := gen.Rules(gen.Pokec, gen.RuleConfig{Count: 8, MaxDiameter: 4, Seed: 5})
 	d := update.Random(ds, update.Config{Size: 80, Gamma: 1, Seed: 6})
 
-	r1 := PIncDect(ds.G, rules, d, Hybrid(8))
-	r2 := PIncDect(ds.G, rules, d, Hybrid(8))
+	r1 := PIncDect(ds.G, rules, d, Oracle(8))
+	r2 := PIncDect(ds.G, rules, d, Oracle(8))
 	if r1.Metrics.Makespan != r2.Metrics.Makespan || r1.Metrics.Units != r2.Metrics.Units ||
 		r1.Metrics.Moved != r2.Metrics.Moved {
 		t.Errorf("virtual driver not deterministic: %+v vs %+v", r1.Metrics, r2.Metrics)
@@ -116,7 +112,7 @@ func TestParallelScalability(t *testing.T) {
 
 	spans := map[int]float64{}
 	for _, p := range []int{4, 20} {
-		r := PIncDect(ds.G, rules, d, Hybrid(p))
+		r := PIncDect(ds.G, rules, d, Oracle(p))
 		spans[p] = r.Metrics.Makespan
 	}
 	if spans[20] >= spans[4] {
@@ -137,8 +133,10 @@ func TestHybridBeatsNO(t *testing.T) {
 	rules := gen.Rules(gen.Pokec, gen.RuleConfig{Count: 14, MaxDiameter: 5, Seed: 23})
 	d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.2), Gamma: 1, Seed: 24})
 
-	hybrid := PIncDect(ds.G, rules, d, Hybrid(8))
-	no := PIncDect(ds.G, rules, d, VariantNO(8))
+	hybrid := PIncDect(ds.G, rules, d, Oracle(8))
+	noOpts := VariantNO(8)
+	noOpts.Virtual = true
+	no := PIncDect(ds.G, rules, d, noOpts)
 	t.Logf("hybrid=%.0f no=%.0f (ratio %.2f)", hybrid.Metrics.Makespan, no.Metrics.Makespan,
 		no.Metrics.Makespan/hybrid.Metrics.Makespan)
 	if hybrid.Metrics.Makespan > no.Metrics.Makespan*1.15 {
@@ -151,11 +149,11 @@ func TestHybridBeatsNO(t *testing.T) {
 func TestLimit(t *testing.T) {
 	ds := gen.Generate(gen.YAGO2, 400, 3)
 	rules := gen.Rules(gen.YAGO2, gen.RuleConfig{Count: 12, MaxDiameter: 4, Seed: 3})
-	full := PDect(ds.G, rules, Hybrid(4))
+	full := PDect(ds.G, rules, Oracle(4))
 	if len(full.Violations) < 3 {
 		t.Skip("not enough violations to test limiting")
 	}
-	opts := Hybrid(4)
+	opts := Oracle(4)
 	opts.Limit = 2
 	limited := PDect(ds.G, rules, opts)
 	if len(limited.Violations) < 2 || len(limited.Violations) >= len(full.Violations) {
@@ -175,11 +173,9 @@ func TestEmptyInputs(t *testing.T) {
 	if r := PIncDect(ds.G, rules, d, Hybrid(4)); len(r.Delta.Plus)+len(r.Delta.Minus) != 0 {
 		t.Error("PIncDect with empty delta returned changes")
 	}
-	// real driver with empty work must not deadlock
-	real := Hybrid(2)
-	real.Real = true
-	if r := PIncDect(ds.G, rules, d, real); len(r.Delta.Plus)+len(r.Delta.Minus) != 0 {
-		t.Error("real driver with empty delta returned changes")
+	// the virtual oracle with empty work must terminate cleanly too
+	if r := PIncDect(ds.G, rules, d, Oracle(2)); len(r.Delta.Plus)+len(r.Delta.Minus) != 0 {
+		t.Error("virtual driver with empty delta returned changes")
 	}
 }
 

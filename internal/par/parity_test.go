@@ -1,0 +1,129 @@
+package par
+
+// Cross-driver parity: with the same options the goroutine driver and the
+// virtual oracle expand the exact same unit multiset — split decisions are
+// per-unit and deterministic, and balancing only re-homes units, never
+// creates or drops them. These tests pin that contract, which is what lets
+// the deterministic virtual driver stand in as the oracle for the
+// wall-clock shard runtime.
+
+import (
+	"testing"
+
+	"ngd/internal/gen"
+	"ngd/internal/update"
+)
+
+// TestUnitParityAcrossDrivers: Metrics.Units and Metrics.Splits are
+// exactly equal between the drivers, for every variant, on both PDect and
+// PIncDect.
+func TestUnitParityAcrossDrivers(t *testing.T) {
+	ds := gen.Generate(gen.Pokec, 300, 91)
+	rules := gen.Rules(gen.Pokec, gen.RuleConfig{Count: 10, MaxDiameter: 4, Seed: 91})
+	d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.12), Gamma: 1, Seed: 92})
+
+	variants := []struct {
+		name string
+		mk   func(int) Options
+	}{
+		{"hybrid", Hybrid}, {"ns", VariantNS}, {"nb", VariantNB}, {"no", VariantNO},
+	}
+	for _, v := range variants {
+		real := v.mk(4)
+		virt := v.mk(4)
+		virt.Virtual = true
+
+		rb := PDect(ds.G, rules, real)
+		vb := PDect(ds.G, rules, virt)
+		if rb.Metrics.Units != vb.Metrics.Units || rb.Metrics.Splits != vb.Metrics.Splits {
+			t.Errorf("%s PDect: real units/splits %d/%d, virtual %d/%d", v.name,
+				rb.Metrics.Units, rb.Metrics.Splits, vb.Metrics.Units, vb.Metrics.Splits)
+		}
+
+		ri := PIncDect(ds.G, rules, d, real)
+		vi := PIncDect(ds.G, rules, d, virt)
+		if ri.Metrics.Units != vi.Metrics.Units || ri.Metrics.Splits != vi.Metrics.Splits {
+			t.Errorf("%s PIncDect: real units/splits %d/%d, virtual %d/%d", v.name,
+				ri.Metrics.Units, ri.Metrics.Splits, vi.Metrics.Units, vi.Metrics.Splits)
+		}
+	}
+}
+
+// TestTotalWorkParityNoBalance: without the balancer (whose monitoring and
+// transfer charges are timing-dependent under the goroutine driver) the
+// summed per-unit cost is exactly equal between the drivers — every unit's
+// expansion cost is a deterministic function of the unit, not of which
+// shard ran it.
+func TestTotalWorkParityNoBalance(t *testing.T) {
+	ds := gen.Generate(gen.YAGO2, 250, 93)
+	rules := gen.Rules(gen.YAGO2, gen.RuleConfig{Count: 10, MaxDiameter: 4, Seed: 93})
+	d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.12), Gamma: 1, Seed: 94})
+
+	real := VariantNB(4)
+	virt := VariantNB(4)
+	virt.Virtual = true
+
+	rb := PDect(ds.G, rules, real)
+	vb := PDect(ds.G, rules, virt)
+	if rb.Metrics.TotalWork != vb.Metrics.TotalWork {
+		t.Errorf("PDect nb TotalWork: real %v, virtual %v",
+			rb.Metrics.TotalWork, vb.Metrics.TotalWork)
+	}
+
+	ri := PIncDect(ds.G, rules, d, real)
+	vi := PIncDect(ds.G, rules, d, virt)
+	if ri.Metrics.TotalWork != vi.Metrics.TotalWork {
+		t.Errorf("PIncDect nb TotalWork: real %v, virtual %v",
+			ri.Metrics.TotalWork, vi.Metrics.TotalWork)
+	}
+}
+
+// TestLimitDrainSemanticsBothDrivers pins Options.Limit's documented drain
+// contract on both drivers: once the limit is hit the remaining units are
+// drained without expansion but still accounted in Metrics.Units, so a
+// limited run never processes more units than the unlimited one; and a
+// limit the run never reaches is an exact no-op.
+func TestLimitDrainSemanticsBothDrivers(t *testing.T) {
+	ds := gen.Generate(gen.YAGO2, 400, 3)
+	rules := gen.Rules(gen.YAGO2, gen.RuleConfig{Count: 12, MaxDiameter: 4, Seed: 3})
+
+	fulls := map[bool]*Result{
+		false: PDect(ds.G, rules, Hybrid(4)),
+		true:  PDect(ds.G, rules, Oracle(4)),
+	}
+	nvio := len(fulls[false].Violations)
+	if nvio < 3 {
+		t.Skip("not enough violations to exercise the limit")
+	}
+	if got := len(fulls[true].Violations); got != nvio {
+		t.Fatalf("full runs disagree: real %d violations, virtual %d", nvio, got)
+	}
+
+	for _, virtual := range []bool{false, true} {
+		full := fulls[virtual]
+
+		opts := Hybrid(4)
+		opts.Virtual = virtual
+		opts.Limit = 2
+		limited := PDect(ds.G, rules, opts)
+		if len(limited.Violations) < 2 {
+			t.Errorf("virtual=%v: limited run emitted %d violations, want >= 2",
+				virtual, len(limited.Violations))
+		}
+		if limited.Metrics.Units == 0 || limited.Metrics.Units > full.Metrics.Units {
+			t.Errorf("virtual=%v: limited run processed %d units, full run %d (drained units must be accounted, and never exceed the full multiset)",
+				virtual, limited.Metrics.Units, full.Metrics.Units)
+		}
+
+		// a limit above |Vio(Σ,G)| never triggers the drain: exact parity
+		// with the unlimited run
+		noop := Hybrid(4)
+		noop.Virtual = virtual
+		noop.Limit = nvio + 1
+		unl := PDect(ds.G, rules, noop)
+		if unl.Metrics.Units != full.Metrics.Units || len(unl.Violations) != nvio {
+			t.Errorf("virtual=%v: unreached limit changed the run: %d units / %d violations, want %d / %d",
+				virtual, unl.Metrics.Units, len(unl.Violations), full.Metrics.Units, nvio)
+		}
+	}
+}

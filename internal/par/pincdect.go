@@ -1,6 +1,8 @@
 package par
 
 import (
+	"sort"
+
 	"ngd/internal/core"
 	"ngd/internal/detect"
 	"ngd/internal/graph"
@@ -9,13 +11,70 @@ import (
 	"ngd/internal/plan"
 )
 
+// placeSeeds distributes seed units across the P workers: heaviest first
+// onto the least-loaded worker (lowest index on ties) by the balancer's
+// unitWeight estimate. The sort is stable and unestimated units all weigh
+// 1, so without maintained statistics this is exactly the round-robin
+// distribution of the paper's line 5.
+func (e *engine) placeSeeds(seeds []*unit) [][]*unit {
+	weights := make([]float64, len(seeds))
+	for i, u := range seeds {
+		weights[i] = e.unitWeight(u)
+	}
+	order := make([]int, len(seeds))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return weights[order[a]] > weights[order[b]]
+	})
+	initial := make([][]*unit, e.opts.P)
+	loads := make([]float64, e.opts.P)
+	for _, i := range order {
+		best := 0
+		for w := 1; w < e.opts.P; w++ {
+			if loads[w] < loads[best] {
+				best = w
+			}
+		}
+		initial[best] = append(initial[best], seeds[i])
+		loads[best] += weights[i]
+	}
+	return initial
+}
+
+// runBatch executes prepared batch seeds on the selected driver.
+func (e *engine) runBatch(seeds []*unit) *Result {
+	initial := e.placeSeeds(seeds)
+	res := &Result{}
+	var tagged []taggedVio
+	if e.opts.Virtual {
+		tagged, res.Metrics = e.runVirtual(initial, 0)
+	} else {
+		tagged, res.Metrics = e.runReal(initial)
+	}
+	for _, tv := range tagged {
+		res.Violations = append(res.Violations, tv.vio)
+	}
+	return res
+}
+
 // PDect runs parallel batch detection of Vio(Σ, G) (§5.1: the extension of
-// the GFD parallel batch algorithm to NGDs). Initial work units are chunks
-// of each rule's seed-candidate list, distributed round-robin; from there
-// the hybrid strategy applies.
+// the GFD parallel batch algorithm to NGDs). Rules whose plans share a
+// structural prefix are fanned out as forest units (shared.go), mirroring
+// the sequential detector's shared-prefix enumeration; programs built with
+// NoSharing fall back to one task per rule. Initial work units are chunks
+// of each seed-candidate list, placed heaviest-first by estimated cost;
+// from there the hybrid strategy applies.
 func PDect(g graph.View, rules *core.Set, opts Options) *Result {
 	opts = opts.Defaults()
 	prog := opts.program(g, rules)
+	if !prog.Options().NoSharing {
+		sh := prog.ShareFor(g, rules, opts.NoPruning)
+		e := newSharedEngine(opts, g, sh)
+		return e.runBatch(e.seedShared())
+	}
+
 	var tasks []task
 	for _, r := range rules.Rules {
 		c, pl := prog.PlanFor(g, r, nil, opts.NoPruning)
@@ -26,8 +85,7 @@ func PDect(g graph.View, rules *core.Set, opts Options) *Result {
 	}
 	e := newEngine(opts, tasks)
 
-	initial := make([][]*unit, opts.P)
-	next := 0
+	var seeds []*unit
 	for t := range tasks {
 		tk := &tasks[t]
 		if tk.le.NumY() == 0 {
@@ -52,35 +110,22 @@ func PDect(g graph.View, rules *core.Set, opts Options) *Result {
 			if hi > cnt {
 				hi = cnt
 			}
-			u := &unit{
+			seeds = append(seeds, &unit{
 				task: t, depth: 0, ySat: ySat,
 				pivotRank: -1, pivotSlot: -1,
 				partial: match.NewPartial(nPat),
 				lo:      lo, hi: hi,
-			}
-			initial[next%opts.P] = append(initial[next%opts.P], u)
-			next++
+			})
 		}
 	}
-
-	res := &Result{}
-	var tagged []taggedVio
-	if opts.Real {
-		tagged, res.Metrics = e.runReal(initial)
-	} else {
-		tagged, res.Metrics = e.runVirtual(initial, 0)
-	}
-	for _, tv := range tagged {
-		res.Violations = append(res.Violations, tv.vio)
-	}
-	return res
+	return e.runBatch(seeds)
 }
 
 // PIncDect runs parallel incremental detection of ΔVio(Σ, G, ΔG) (§6.3,
 // Figure 3). g is the pre-update graph; ΔG is normalized internally. The
-// update pivots triggered by ΔG are distributed evenly across the p
-// workers; the candidate neighborhood NC(ΔG, Σ) is identified up front and
-// its construction and replication cost charged to all workers.
+// update pivots triggered by ΔG are distributed across the p workers by
+// fragment ownership; the candidate neighborhood NC(ΔG, Σ) is identified up
+// front and its construction and replication cost charged to all workers.
 func PIncDect(g *graph.Graph, rules *core.Set, delta *graph.Delta, opts Options) *Result {
 	opts = opts.Defaults()
 	norm := delta
@@ -91,14 +136,13 @@ func PIncDect(g *graph.Graph, rules *core.Set, delta *graph.Delta, opts Options)
 	ins := norm.Insertions()
 	del := norm.Deletions()
 
-	e := &engine{opts: opts}
-	e.insIdx = make(map[edgeKey]int, len(ins))
+	insIdx := make(map[edgeKey]int, len(ins))
 	for i, op := range ins {
-		e.insIdx[edgeKey{op.Src, op.Dst, op.Label}] = i
+		insIdx[edgeKey{op.Src, op.Dst, op.Label}] = i
 	}
-	e.delIdx = make(map[edgeKey]int, len(del))
+	delIdx := make(map[edgeKey]int, len(del))
 	for i, op := range del {
-		e.delIdx[edgeKey{op.Src, op.Dst, op.Label}] = i
+		delIdx[edgeKey{op.Src, op.Dst, op.Label}] = i
 	}
 
 	// tasks: rule × pattern-edge slot × side
@@ -138,7 +182,7 @@ func PIncDect(g *graph.Graph, rules *core.Set, delta *graph.Delta, opts Options)
 		return len(tasks) - 1
 	}
 
-	// seed update pivots (round-robin distribution, paper line 5)
+	// seed update pivots (paper line 5)
 	var seeds []*unit
 	addPivots := func(ops []graph.EdgeOp, plus bool, view graph.View) {
 		for rank, op := range ops {
@@ -177,24 +221,18 @@ func PIncDect(g *graph.Graph, rules *core.Set, delta *graph.Delta, opts Options)
 	addPivots(ins, true, newView)
 	addPivots(del, false, g)
 
-	e.tasks = tasks
-	e.matchers = make([][]*match.Matcher, opts.P)
-	for w := 0; w < opts.P; w++ {
-		ms := make([]*match.Matcher, len(tasks))
-		for t := range tasks {
-			ms[t] = match.NewMatcher(tasks[t].view, tasks[t].plan, match.Hooks{})
-		}
-		e.matchers[w] = ms
-	}
+	e := newEngine(opts, tasks)
+	e.insIdx = insIdx
+	e.delIdx = delIdx
 
 	// Pivots are discovered fragment-locally (each processor scans the unit
 	// updates landing in its fragment, Figure 3 lines 1–2), so a pivot's
-	// initial owner is the fragment owner of its source node. This is what
-	// produces the regionally-skewed workloads the hybrid strategy then
-	// splits and rebalances; see partition.Greedy. A maintained partition
-	// supplied via opts.Part is used as-is (the serving session keeps one
-	// current across commits); only a one-shot call without one pays the
-	// full-graph build here.
+	// initial owner is the shard its source node's fragment folds onto
+	// (partition.Worker). This is what produces the regionally-skewed
+	// workloads the hybrid strategy then splits and rebalances; see
+	// partition.Greedy. A maintained partition supplied via opts.Part is
+	// used as-is (the serving session keeps one current across commits);
+	// only a one-shot call without one pays the full-graph build here.
 	pt := opts.Part
 	if pt == nil {
 		pt = partition.Greedy(g, opts.P)
@@ -205,9 +243,7 @@ func PIncDect(g *graph.Graph, rules *core.Set, delta *graph.Delta, opts Options)
 		if !tasks[u.task].plus {
 			op = del
 		}
-		// Owner is bounds-safe for nodes newer than the partition; the
-		// modulus folds a partition with more fragments than workers.
-		w := pt.Owner(op[u.pivotRank].Src) % opts.P
+		w := pt.Worker(op[u.pivotRank].Src, opts.P)
 		initial[w] = append(initial[w], u)
 	}
 
@@ -219,10 +255,10 @@ func PIncDect(g *graph.Graph, rules *core.Set, delta *graph.Delta, opts Options)
 
 	res := &Result{}
 	var tagged []taggedVio
-	if opts.Real {
-		tagged, res.Metrics = e.runReal(initial)
-	} else {
+	if opts.Virtual {
 		tagged, res.Metrics = e.runVirtual(initial, startCost)
+	} else {
+		tagged, res.Metrics = e.runReal(initial)
 	}
 	res.Metrics.NC = len(nc)
 	for _, tv := range tagged {

@@ -1,0 +1,250 @@
+package par
+
+// The persistent shard pool (PR 6 tentpole): runReal used to spawn p
+// goroutines per call, which was fine for a test harness but wrong for a
+// serving runtime committing a batch every few milliseconds. A Pool keeps
+// p long-lived shard goroutines — one per maintained partition fragment;
+// the session sizes the pool and the partition together — plus one
+// balancer goroutine, and executes goroutine-driver runs on them without
+// respawning. A Pool serves one run at a time (the session/serve layer is
+// single-writer; concurrent Run calls serialize), and Close terminates the
+// shard goroutines deterministically: the serve layer's goroutine-leak
+// test pins that nothing survives Server.Close.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// runState is one goroutine-driver execution: the per-run queues, tallies
+// and completion signal shared by the shard goroutines, whether pooled or
+// spawned for the call.
+type runState struct {
+	e  *engine
+	ws []*gworker
+
+	pending                             atomic.Int64
+	sideCount                           [2]atomic.Int64
+	splits, moved, balEvents, unitCount atomic.Int64
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup // the workers (and balancer) serving this run
+}
+
+func newRunState(e *engine, initial [][]*unit) *runState {
+	r := &runState{e: e, ws: make([]*gworker, e.opts.P), done: make(chan struct{})}
+	total := 0
+	for i := range r.ws {
+		r.ws[i] = &gworker{wake: make(chan struct{}, 1)}
+		r.ws[i].q = append(r.ws[i].q, initial[i]...)
+		total += len(initial[i])
+	}
+	r.pending.Store(int64(total))
+	if total == 0 {
+		r.finish()
+	}
+	return r
+}
+
+func (r *runState) finish() { r.closeOnce.Do(func() { close(r.done) }) }
+
+// work is the shard loop for worker w: pop (LIFO), expand, route children,
+// tally, until the run's pending count drains to zero.
+func (r *runState) work(w int) {
+	e := r.e
+	self := r.ws[w]
+	for {
+		u, ok := self.pop()
+		if !ok {
+			select {
+			case <-r.done:
+				return
+			case <-self.wake:
+				continue
+			}
+		}
+		if e.opts.Limit > 0 && r.sideCount[e.sideOf(u)].Load() >= int64(e.opts.Limit) {
+			// this side hit its limit: drain without expanding, but
+			// account the unit and its pending transfer charge so
+			// Units/cost mean the same thing as under the virtual driver
+			self.addCost(u.xferCharge)
+			r.unitCount.Add(1)
+			if r.pending.Add(-1) == 0 {
+				r.finish()
+			}
+			continue
+		}
+		res := e.expand(w, u)
+		self.addCost(res.cost)
+		r.unitCount.Add(1)
+		if len(res.children) > 0 {
+			r.pending.Add(int64(len(res.children)))
+			if res.split {
+				r.splits.Add(1)
+				for i, child := range res.children {
+					r.ws[i%len(r.ws)].push(child)
+				}
+			} else {
+				for _, child := range res.children {
+					self.push(child)
+				}
+			}
+		}
+		if len(res.vios) > 0 {
+			// vios are only ever touched by the owning worker
+			self.vios = append(self.vios, res.vios...)
+			for _, tv := range res.vios {
+				r.sideCount[sideIdx(tv.plus)].Add(1)
+			}
+		}
+		if r.pending.Add(-1) == 0 {
+			r.finish()
+		}
+	}
+}
+
+// balanceLoop is the paper's workload monitor at interval intvl: every tick
+// it runs one gbalance round until the run drains.
+func (r *runState) balanceLoop() {
+	// interpret Intvl cost units as microseconds at real-time scale
+	// (1 cost unit ≈ 1 µs of work)
+	tick := time.Duration(r.e.opts.Intvl) * time.Microsecond
+	if tick < 100*time.Microsecond {
+		tick = 100 * time.Microsecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-t.C:
+			r.balEvents.Add(1)
+			r.moved.Add(int64(r.e.gbalance(r.ws)))
+		}
+	}
+}
+
+// metrics collects the run's violations and Metrics once it has drained.
+func (r *runState) metrics() ([]taggedVio, Metrics) {
+	var vios []taggedVio
+	met := Metrics{
+		Units:         int(r.unitCount.Load()),
+		Splits:        int(r.splits.Load()),
+		Moved:         int(r.moved.Load()),
+		BalanceEvents: int(r.balEvents.Load()),
+	}
+	for _, w := range r.ws {
+		vios = append(vios, w.vios...)
+		met.WorkerCost = append(met.WorkerCost, w.cost)
+		met.TotalWork += w.cost
+		if w.cost > met.Makespan {
+			met.Makespan = w.cost
+		}
+	}
+	sortViolations(vios)
+	return vios, met
+}
+
+// Pool is a persistent shard pool for the goroutine driver. Create with
+// NewPool, hand to the engine via Options.Pool, stop with Close. The
+// zero-value Pool is not usable.
+type Pool struct {
+	p    int
+	mu   sync.Mutex // serializes runs; Close waits for the in-flight one
+	work []chan *runState
+	bal  chan *runState
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	closed bool
+}
+
+// NewPool starts p shard goroutines plus the balancer goroutine
+// (p <= 0 uses the default worker count).
+func NewPool(p int) *Pool {
+	if p <= 0 {
+		p = Options{}.Defaults().P
+	}
+	pl := &Pool{
+		p:    p,
+		work: make([]chan *runState, p),
+		bal:  make(chan *runState),
+		quit: make(chan struct{}),
+	}
+	for i := 0; i < p; i++ {
+		pl.work[i] = make(chan *runState)
+		pl.wg.Add(1)
+		go func(i int) {
+			defer pl.wg.Done()
+			for {
+				select {
+				case <-pl.quit:
+					return
+				case r := <-pl.work[i]:
+					r.work(i)
+					r.wg.Done()
+				}
+			}
+		}(i)
+	}
+	pl.wg.Add(1)
+	go func() {
+		defer pl.wg.Done()
+		for {
+			select {
+			case <-pl.quit:
+				return
+			case r := <-pl.bal:
+				r.balanceLoop()
+				r.wg.Done()
+			}
+		}
+	}()
+	return pl
+}
+
+// Size reports the number of shard goroutines.
+func (pl *Pool) Size() int { return pl.p }
+
+// run executes r on the pool's shards, blocking until the run drains. It
+// reports false — without running anything — when the pool is closed or
+// sized differently from the run's worker count; the caller then falls
+// back to per-call workers.
+func (pl *Pool) run(r *runState) bool {
+	if len(r.ws) != pl.p {
+		return false
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.closed {
+		return false
+	}
+	r.wg.Add(pl.p)
+	if r.e.opts.Balance {
+		r.wg.Add(1)
+	}
+	for i := 0; i < pl.p; i++ {
+		pl.work[i] <- r
+	}
+	if r.e.opts.Balance {
+		pl.bal <- r
+	}
+	r.wg.Wait()
+	return true
+}
+
+// Close terminates the shard goroutines and blocks until they have exited.
+// Idempotent; an in-flight run completes first (run holds the pool while
+// active). Runs attempted after Close fall back to per-call workers.
+func (pl *Pool) Close() {
+	pl.mu.Lock()
+	if !pl.closed {
+		pl.closed = true
+		close(pl.quit)
+	}
+	pl.mu.Unlock()
+	pl.wg.Wait()
+}

@@ -1,9 +1,8 @@
 package par
 
 import (
+	"math"
 	"sync"
-	"sync/atomic"
-	"time"
 )
 
 // gworker is one real worker goroutine's state.
@@ -36,12 +35,6 @@ func (w *gworker) pop() (*unit, bool) {
 	return u, true
 }
 
-func (w *gworker) size() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return len(w.q)
-}
-
 // addCost accumulates work cost; the balancer goroutine also charges
 // monitoring and serialization costs, so access is synchronized.
 func (w *gworker) addCost(c float64) {
@@ -50,227 +43,116 @@ func (w *gworker) addCost(c float64) {
 	w.mu.Unlock()
 }
 
-// takeFront steals n units from the front (oldest, typically shallowest —
-// the biggest subtrees, which is what rebalancing wants to move; the
-// virtual driver's vworker sheds the same end).
-func (w *gworker) takeFront(n int) []*unit {
+// wload measures the queue for the balancer: estimated remaining cost
+// (Σ unitWeight) and unit count.
+func (w *gworker) wload(e *engine) (float64, int) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if n > len(w.q) {
-		n = len(w.q)
+	var load float64
+	for _, u := range w.q {
+		load += e.unitWeight(u)
 	}
-	out := append([]*unit(nil), w.q[:n]...)
-	w.q = append(w.q[:0], w.q[n:]...)
-	return out
+	return load, len(w.q)
+}
+
+// shedFront plans and removes a shed from the front of the queue — the
+// oldest, typically shallowest units, i.e. the biggest subtrees, which is
+// what rebalancing wants to move (the virtual driver's vworker sheds the
+// same end) — under one lock, so the owner cannot pop a unit the balancer
+// is re-homing.
+func (w *gworker) shedFront(e *engine, excess float64, targets []*balTarget) ([]*unit, []int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	take, dest := shedAssign(w.q, excess, targets, e.unitWeight)
+	if take == 0 {
+		return nil, nil
+	}
+	out := append([]*unit(nil), w.q[:take]...)
+	w.q = append(w.q[:0], w.q[take:]...)
+	return out, dest
 }
 
 // gbalance is one monitoring round of the goroutine driver, mirroring
-// vbalance unit for unit: every worker pays a monitoring cost, senders
-// above η× the average shed from the front up to the receivers' total
-// deficit, each receiver accepts at most its deficit (avg − size), and
-// every transferred unit carries an xferCharge the receiving worker pays
-// on expansion. It returns the number of units moved.
+// vbalance decision for decision (both call the balance.go helpers): every
+// worker pays a monitoring cost, senders above η× the average load shed
+// from the front, receivers below η′× accept at most their deficit, and
+// every transferred unit carries an xferCharge the receiving worker pays on
+// expansion. Loads are estimated unit costs (unitWeight); without
+// maintained statistics every unit weighs 1 and this is the paper's
+// count-based round. It returns the number of units moved.
 func (e *engine) gbalance(ws []*gworker) int {
 	p := len(ws)
 	lat := float64(e.opts.TrueLatency)
-	sizes := make([]int, p)
+	loads := make([]float64, p)
 	total := 0
+	var totalLoad float64
 	for i, w := range ws {
-		sizes[i] = w.size()
-		total += sizes[i]
+		var n int
+		loads[i], n = w.wload(e)
+		totalLoad += loads[i]
+		total += n
 	}
 	if total == 0 {
 		return 0
 	}
-	avg := float64(total) / float64(p)
+	avg := totalLoad / float64(p)
 	// monitoring cost: a status round-trip per worker
 	for _, w := range ws {
 		w.addCost(lat / 2)
 	}
-	// receivers: workers below the low-water mark, each accepting at most
-	// its deficit, so a transfer never turns a receiver into the next
-	// straggler (see vbalance)
-	type recv struct {
-		w       *gworker
-		deficit int
-	}
-	var targets []recv
-	for i, w := range ws {
-		if float64(sizes[i]) < e.opts.EtaLow*avg {
-			if def := int(avg) - sizes[i]; def > 0 {
-				targets = append(targets, recv{w, def})
-			}
-		}
-	}
+	targets := balReceivers(loads, avg, e.opts.EtaLow)
 	if len(targets) == 0 {
 		return 0
 	}
 	moved := 0
 	for i, w := range ws {
-		if float64(sizes[i]) <= e.opts.Eta*avg {
+		if loads[i] <= e.opts.Eta*avg {
 			continue
 		}
-		excess := sizes[i] - int(avg)
-		want := 0
-		for _, t := range targets {
-			want += t.deficit
-		}
-		if excess > want {
-			excess = want
-		}
+		excess := math.Floor(loads[i] - avg)
 		if excess <= 0 {
 			continue
 		}
-		units := w.takeFront(excess)
+		units, dest := w.shedFront(e, excess, targets)
+		if len(units) == 0 {
+			continue
+		}
 		// serializing the shed units costs the sender CPU
 		w.addCost(xferCPU * float64(len(units)))
-		ti := 0
-		for _, u := range units {
-			for targets[ti].deficit == 0 {
-				ti = (ti + 1) % len(targets)
-			}
+		for k, u := range units {
 			u.xferCharge = xferCPU // deserialize on arrival
-			targets[ti].w.push(u)
-			targets[ti].deficit--
-			ti = (ti + 1) % len(targets)
+			ws[dest[k]].push(u)
 		}
 		moved += len(units)
 	}
 	return moved
 }
 
-// runReal executes the engine on p OS-scheduled goroutines. The balancer
-// goroutine implements the paper's periodic monitoring: every interval it
-// runs gbalance, the real-time twin of the virtual driver's vbalance.
-// Splitting decisions reuse the same cost model as the virtual driver.
+// runReal executes the engine on the goroutine driver: on the persistent
+// shard pool when Options.Pool is usable, otherwise on p goroutines spawned
+// for this call (one-shot callers, tests, and the fallback after the pool
+// closes). The run's mechanics — worker loop, balancer tick, metrics — live
+// on runState (pool.go) and are identical on both paths.
 func (e *engine) runReal(initial [][]*unit) ([]taggedVio, Metrics) {
+	r := newRunState(e, initial)
+	if pl := e.opts.Pool; pl != nil && pl.run(r) {
+		return r.metrics()
+	}
 	p := e.opts.P
-	ws := make([]*gworker, p)
-	var pending atomic.Int64
-	// per-side violation tallies for the Limit cutoff (see Options.Limit)
-	var sideCount [2]atomic.Int64
-	var splits, moved, balEvents atomic.Int64
-	var unitCount atomic.Int64
-	done := make(chan struct{})
-	var closeOnce sync.Once
-	finish := func() { closeOnce.Do(func() { close(done) }) }
-
-	total := 0
+	r.wg.Add(p)
 	for i := 0; i < p; i++ {
-		ws[i] = &gworker{wake: make(chan struct{}, 1)}
-		total += len(initial[i])
-	}
-	pending.Store(int64(total))
-	if total == 0 {
-		finish()
-	}
-	for i := 0; i < p; i++ {
-		for _, u := range initial[i] {
-			ws[i].q = append(ws[i].q, u)
-		}
-	}
-
-	var wg sync.WaitGroup
-	for i := 0; i < p; i++ {
-		wg.Add(1)
 		go func(w int) {
-			defer wg.Done()
-			self := ws[w]
-			for {
-				u, ok := self.pop()
-				if !ok {
-					select {
-					case <-done:
-						return
-					case <-self.wake:
-						continue
-					}
-				}
-				if e.opts.Limit > 0 &&
-					sideCount[sideIdx(e.tasks[u.task].plus)].Load() >= int64(e.opts.Limit) {
-					// this side hit its limit: drain without expanding, but
-					// account the unit and its pending transfer charge so
-					// Units/cost mean the same thing as under the virtual
-					// driver
-					self.addCost(u.xferCharge)
-					unitCount.Add(1)
-					if pending.Add(-1) == 0 {
-						finish()
-					}
-					continue
-				}
-				res := e.expand(w, u)
-				self.addCost(res.cost)
-				unitCount.Add(1)
-				if len(res.children) > 0 {
-					pending.Add(int64(len(res.children)))
-					if res.split {
-						splits.Add(1)
-						for i, child := range res.children {
-							ws[i%p].push(child)
-						}
-					} else {
-						for _, child := range res.children {
-							self.push(child)
-						}
-					}
-				}
-				if len(res.vios) > 0 {
-					// vios are only ever touched by the owning worker
-					self.vios = append(self.vios, res.vios...)
-					for _, tv := range res.vios {
-						sideCount[sideIdx(tv.plus)].Add(1)
-					}
-				}
-				if pending.Add(-1) == 0 {
-					finish()
-				}
-			}
+			defer r.wg.Done()
+			r.work(w)
 		}(i)
 	}
-
-	// balancer: the paper's workload monitor at interval intvl.
 	if e.opts.Balance {
-		wg.Add(1)
+		r.wg.Add(1)
 		go func() {
-			defer wg.Done()
-			// interpret Intvl cost units as microseconds at real-time
-			// scale (1 cost unit ≈ 1 µs of work)
-			tick := time.Duration(e.opts.Intvl) * time.Microsecond
-			if tick < 100*time.Microsecond {
-				tick = 100 * time.Microsecond
-			}
-			t := time.NewTicker(tick)
-			defer t.Stop()
-			for {
-				select {
-				case <-done:
-					return
-				case <-t.C:
-					balEvents.Add(1)
-					moved.Add(int64(e.gbalance(ws)))
-				}
-			}
+			defer r.wg.Done()
+			r.balanceLoop()
 		}()
 	}
-
-	wg.Wait()
-
-	var vios []taggedVio
-	met := Metrics{
-		Units:         int(unitCount.Load()),
-		Splits:        int(splits.Load()),
-		Moved:         int(moved.Load()),
-		BalanceEvents: int(balEvents.Load()),
-	}
-	for _, w := range ws {
-		vios = append(vios, w.vios...)
-		met.WorkerCost = append(met.WorkerCost, w.cost)
-		met.TotalWork += w.cost
-		if w.cost > met.Makespan {
-			met.Makespan = w.cost
-		}
-	}
-	sortViolations(vios)
-	return vios, met
+	r.wg.Wait()
+	return r.metrics()
 }

@@ -1,6 +1,9 @@
 package par
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // debugBalance dumps balancer state (tests only).
 var debugBalance = false
@@ -89,7 +92,7 @@ func (e *engine) runVirtual(initial [][]*unit, startCost float64) ([]taggedVio, 
 		}
 		vw := ws[w]
 		u := vw.pop()
-		if e.opts.Limit > 0 && sideVios[sideIdx(e.tasks[u.task].plus)] >= e.opts.Limit {
+		if e.opts.Limit > 0 && sideVios[e.sideOf(u)] >= e.opts.Limit {
 			// this side hit its limit: drain without expanding, but account
 			// the unit and its pending transfer charge so Units/cost mean
 			// the same thing as under the goroutine driver
@@ -141,20 +144,29 @@ func (e *engine) runVirtual(initial [][]*unit, startCost float64) ([]taggedVio, 
 }
 
 // vbalance implements the paper's periodic redistribution at virtual time T:
-// workers whose queue skewness exceeds η shed their excess evenly onto
-// workers below η′. Every worker pays a monitoring cost; each transferred
-// unit pays a communication latency and becomes available at T + latency.
+// workers whose load skewness exceeds η shed their excess evenly onto
+// workers below η′ (both decisions via the balance.go helpers shared with
+// gbalance). Loads are estimated unit costs (unitWeight); without maintained
+// statistics every unit weighs 1 and this is the paper's count-based round.
+// Every worker pays a monitoring cost; each transferred unit pays a
+// communication latency and becomes available at T + latency.
 func (e *engine) vbalance(ws []*vworker, T float64) int {
 	p := len(ws)
 	lat := float64(e.opts.TrueLatency)
+	loads := make([]float64, p)
 	total := 0
-	for _, vw := range ws {
+	var totalLoad float64
+	for i, vw := range ws {
 		total += vw.size()
+		for _, u := range vw.q[vw.head:] {
+			loads[i] += e.unitWeight(u)
+		}
+		totalLoad += loads[i]
 	}
 	if total == 0 {
 		return 0
 	}
-	avg := float64(total) / float64(p)
+	avg := totalLoad / float64(p)
 	if debugBalance {
 		sizes := make([]int, p)
 		works := make([]int, p)
@@ -164,7 +176,8 @@ func (e *engine) vbalance(ws []*vworker, T float64) int {
 			works[i] = int(vw.work)
 			clocks[i] = int(vw.clock)
 		}
-		fmt.Printf("bal T=%.0f sizes=%v works=%v clocks=%v\n", T, sizes, works, clocks)
+		fmt.Printf("bal T=%.0f sizes=%v loads=%v works=%v clocks=%v\n",
+			T, sizes, loads, works, clocks)
 	}
 	// monitoring cost: a status round-trip per worker
 	for _, vw := range ws {
@@ -173,56 +186,32 @@ func (e *engine) vbalance(ws []*vworker, T float64) int {
 		}
 		vw.clock += lat / 2
 	}
-	// receivers: workers below the low-water mark, each accepting at most
-	// its deficit (avg − size), so a transfer never turns a receiver into
-	// the next straggler (otherwise a single idle worker absorbs the whole
-	// backlog and the imbalance ping-pongs)
-	type recv struct {
-		w       *vworker
-		deficit int
-	}
-	var targets []recv
-	for _, vw := range ws {
-		if float64(vw.size()) < e.opts.EtaLow*avg {
-			if def := int(avg) - vw.size(); def > 0 {
-				targets = append(targets, recv{vw, def})
-			}
-		}
-	}
+	targets := balReceivers(loads, avg, e.opts.EtaLow)
 	if len(targets) == 0 {
 		return 0
 	}
 	moved := 0
-	for _, vw := range ws {
-		if float64(vw.size()) <= e.opts.Eta*avg {
+	for i, vw := range ws {
+		if loads[i] <= e.opts.Eta*avg {
 			continue
 		}
-		excess := vw.size() - int(avg)
-		want := 0
-		for _, t := range targets {
-			want += t.deficit
-		}
-		if excess > want {
-			excess = want
-		}
+		excess := math.Floor(loads[i] - avg)
 		if excess <= 0 {
 			continue
 		}
-		units := vw.takeFront(excess)
+		take, dest := shedAssign(vw.q[vw.head:], excess, targets, e.unitWeight)
+		if take == 0 {
+			continue
+		}
+		units := vw.takeFront(take)
 		// serializing the shed units costs the sender CPU (a partial
 		// solution is a few dozen bytes — far less than expanding it);
 		// the latency is a delay on availability, not CPU time
 		vw.clock += xferCPU * float64(len(units))
-		ti := 0
-		for _, u := range units {
-			for targets[ti].deficit == 0 {
-				ti = (ti + 1) % len(targets)
-			}
+		for k, u := range units {
 			u.ready = T + lat
 			u.xferCharge = xferCPU // deserialize on arrival
-			targets[ti].w.push(u)
-			targets[ti].deficit--
-			ti = (ti + 1) % len(targets)
+			ws[dest[k]].push(u)
 		}
 		moved += len(units)
 	}

@@ -42,6 +42,20 @@ func (pt *Partition) Owner(v graph.NodeID) int {
 	return int(pt.Frag[v])
 }
 
+// Worker maps node v's fragment onto one of p shard workers. When the
+// partition has more fragments than the run has workers (a maintained
+// partition serving a smaller shard pool), consecutive fragments fold onto
+// workers modulo p; with p ≥ P the mapping is the fragment itself. This
+// keeps pivot placement fragment-local — the locality the paper's Figure 3
+// lines 1–2 assume — without requiring the partition and the pool to agree
+// on a size.
+func (pt *Partition) Worker(v graph.NodeID, p int) int {
+	if p < 1 {
+		p = 1
+	}
+	return pt.Owner(v) % p
+}
+
 // newPartition allocates a partition for n placed nodes.
 func newPartition(p, n int) *Partition {
 	if p < 1 {

@@ -123,9 +123,10 @@ type Server struct {
 	in            chan ingest
 	snap          atomic.Pointer[session.Snapshot]
 
-	mu     sync.Mutex // guards closed
-	closed bool
-	done   chan struct{} // writer exited
+	mu        sync.Mutex // guards closed
+	closed    bool
+	done      chan struct{} // writer exited
+	closeSess sync.Once     // sess.Close after the writer exits
 
 	enqueued   atomic.Int64
 	commits    atomic.Int64
@@ -220,19 +221,21 @@ func (s *Server) Flush() error {
 	return nil
 }
 
-// Close stops the writer after it drains the queue. Reads keep working
-// against the final snapshot; Enqueue fails with ErrClosed.
+// Close stops the writer after it drains the queue, then stops the
+// session's shard pool, so no goroutine the server (transitively) owns
+// survives the call. Reads keep working against the final snapshot;
+// Enqueue fails with ErrClosed.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		<-s.done
-		return
+	} else {
+		s.closed = true
+		close(s.in)
+		s.mu.Unlock()
 	}
-	s.closed = true
-	close(s.in)
-	s.mu.Unlock()
 	<-s.done
+	s.closeSess.Do(s.sess.Close)
 }
 
 // writer is the single mutating goroutine: drain, coalesce, materialize,

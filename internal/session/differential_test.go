@@ -162,6 +162,7 @@ func runDifferential(t *testing.T, w diffWorkload) {
 	sess := session.New(ds.G, rules, session.Options{
 		Parallel: w.parallel, NoPruning: w.noPruning,
 	})
+	defer sess.Close()
 	parOpts := par.Hybrid(6)
 	parOpts.NoPruning = w.noPruning
 
@@ -217,15 +218,74 @@ func runDifferential(t *testing.T, w diffWorkload) {
 	}
 }
 
+// TestDifferentialShardRuntime sweeps the goroutine shard runtime over the
+// full fuzz workload table: on every workload's seed graph, the wall-clock
+// driver must compute exactly Vio(Σ, G) at p ∈ {1, 2, 4, 8}, exactly
+// ΔVio(Σ, G, ΔG) for a committed-size batch, and the virtual oracle must
+// account the exact same number of work units as the real shards — the
+// contract that makes the deterministic driver a valid stand-in for the
+// real one in the cost-model tests.
+func TestDifferentialShardRuntime(t *testing.T) {
+	workloads := diffWorkloads()
+	if len(workloads) < 24 {
+		t.Fatalf("workload table shrank to %d entries", len(workloads))
+	}
+	for _, w := range workloads {
+		w := w
+		t.Run(w.name(), func(t *testing.T) {
+			t.Parallel()
+			ds := gen.Generate(w.profile, w.entities, w.seed)
+			rules := gen.Rules(w.profile, gen.RuleConfig{Count: w.rules, MaxDiameter: 4, Seed: w.seed})
+			if w.nodeRule {
+				rules.Add(noSevenRule())
+			}
+			want := canon(detect.Dect(ds.G, rules, detect.Options{NoPruning: w.noPruning}).Violations)
+			for _, p := range []int{1, 2, 4, 8} {
+				opts := par.Hybrid(p)
+				opts.NoPruning = w.noPruning
+				if got := canon(par.PDect(ds.G, rules, opts).Violations); got != want {
+					t.Fatalf("workload %s: PDect(real, p=%d) != Dect\nPDect:\n%s\nDect:\n%s",
+						w.name(), p, got, want)
+				}
+			}
+
+			ropts := par.Hybrid(4)
+			ropts.NoPruning = w.noPruning
+			vopts := par.Oracle(4)
+			vopts.NoPruning = w.noPruning
+			ru := par.PDect(ds.G, rules, ropts).Metrics.Units
+			vu := par.PDect(ds.G, rules, vopts).Metrics.Units
+			if ru != vu {
+				t.Errorf("workload %s: real driver processed %d units, virtual oracle %d",
+					w.name(), ru, vu)
+			}
+
+			delta := update.Random(ds, update.Config{
+				Size:    update.SizeFor(ds.G, w.batchFrac),
+				Gamma:   w.gamma,
+				Seed:    w.seed*1000 + 500,
+				Hotspot: w.hotspot,
+			})
+			wantInc := inc.IncDect(ds.G, rules, delta, inc.Options{NoPruning: w.noPruning})
+			gotInc := par.PIncDect(ds.G, rules, delta, ropts)
+			if canon(gotInc.Delta.Plus) != canon(wantInc.Plus) ||
+				canon(gotInc.Delta.Minus) != canon(wantInc.Minus) {
+				t.Fatalf("workload %s: PIncDect(real, p=4) != IncDect (ΔVio⁺ %d/%d, ΔVio⁻ %d/%d)",
+					w.name(), len(gotInc.Delta.Plus), len(wantInc.Plus),
+					len(gotInc.Delta.Minus), len(wantInc.Minus))
+			}
+		})
+	}
+}
+
 // TestDifferentialRealDriver runs one workload through the goroutine driver
 // (the -race CI job's target): the real-thread PIncDect must agree with the
 // session store batch for batch.
 func TestDifferentialRealDriver(t *testing.T) {
 	ds := gen.Generate(gen.YAGO2, 150, 11)
 	rules := gen.Rules(gen.YAGO2, gen.RuleConfig{Count: 8, MaxDiameter: 4, Seed: 11})
-	opts := par.Hybrid(4)
-	opts.Real = true
-	sess := session.New(ds.G, rules, session.Options{Parallel: true, Par: opts})
+	sess := session.New(ds.G, rules, session.Options{Parallel: true, Par: par.Hybrid(4)})
+	defer sess.Close()
 	for b := 0; b < 3; b++ {
 		delta := update.Random(ds, update.Config{
 			Size: update.SizeFor(ds.G, 0.08), Gamma: 1, Seed: 11000 + int64(b),

@@ -29,6 +29,7 @@ package session
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ngd/internal/core"
 	"ngd/internal/detect"
@@ -49,9 +50,11 @@ type Options struct {
 	Parallel bool
 	// Par configures the parallel engine when Parallel is set. The zero
 	// value means the full hybrid strategy (splitting + balancing) at the
-	// default worker count; set Real for the goroutine driver. Par.Limit
-	// is ignored: the store invariant needs complete violation sets, so
-	// detection always runs unbounded.
+	// default worker count on the goroutine shard runtime, executed on a
+	// persistent pool the session owns (created at first parallel use,
+	// stopped by Close); set Par.Virtual for the deterministic virtual-time
+	// driver. Par.Limit is ignored: the store invariant needs complete
+	// violation sets, so detection always runs unbounded.
 	Par par.Options
 	// NoPruning disables index-backed candidate pruning in every routed
 	// detector (differential testing; see detect.Options.NoPruning).
@@ -149,6 +152,15 @@ type Session struct {
 	// with Extend (new nodes) and Refine (churn) on every Commit — never
 	// rebuilt over the full graph.
 	part *partition.Partition
+
+	// pool is the session-owned persistent shard pool the goroutine driver
+	// runs on: created at first parallel use, sized like the partition (one
+	// shard per worker), reused by every PDect/PIncDect the session routes,
+	// stopped by Close. poolMu guards it against Close racing a late
+	// ensurePool.
+	pool     *par.Pool
+	poolMu   sync.Mutex
+	poolDone bool
 
 	// snap caches the immutable snapshot of the current epoch; invalidated
 	// by Commit and rebuilt lazily on the next Snapshot call.
@@ -282,11 +294,12 @@ func (s *Session) SetCommitHook(h CommitHook) { s.hook = h }
 
 // parOpts resolves the session's parallel-engine options: an untouched
 // zero value means the full hybrid strategy at the default worker count.
-// The session's maintained partition is threaded through so PIncDect never
-// rebuilds one.
+// The session's maintained partition and persistent shard pool are
+// threaded through so PIncDect never rebuilds a partition and the
+// goroutine driver never respawns its shards.
 func (s *Session) parOpts() par.Options {
 	o := s.opts.Par
-	if o.P == 0 && !o.SplitUnits && !o.Balance && !o.Real {
+	if o.P == 0 && !o.SplitUnits && !o.Balance && !o.Virtual {
 		o = par.Hybrid(0)
 	}
 	o.NoPruning = o.NoPruning || s.opts.NoPruning
@@ -294,7 +307,41 @@ func (s *Session) parOpts() par.Options {
 	o.Limit = 0
 	o.Part = s.part
 	o.Program = s.prog
+	if !o.Virtual && o.Pool == nil {
+		o.Pool = s.ensurePool(o.Defaults().P)
+	}
 	return o
+}
+
+// ensurePool lazily creates the session-owned shard pool for p workers.
+// After Close it returns nil (the driver then runs per-call workers), so a
+// straggling commit can never resurrect shard goroutines the caller
+// believes stopped.
+func (s *Session) ensurePool(p int) *par.Pool {
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if s.poolDone {
+		return nil
+	}
+	if s.pool == nil {
+		s.pool = par.NewPool(p)
+	}
+	return s.pool
+}
+
+// Close stops the session's shard pool, blocking until its goroutines have
+// exited. Idempotent and safe after any number of commits; a session whose
+// parallel route was never used has nothing to stop. The session remains
+// usable afterwards — detection falls back to per-call workers.
+func (s *Session) Close() {
+	s.poolMu.Lock()
+	pl := s.pool
+	s.pool = nil
+	s.poolDone = true
+	s.poolMu.Unlock()
+	if pl != nil {
+		pl.Close()
+	}
 }
 
 // ensurePartition builds the maintained partition on first parallel use

@@ -70,6 +70,7 @@ func TestSnapshotIsolation(t *testing.T) {
 func TestSessionMaintainsPartition(t *testing.T) {
 	ds, rules := mkStreamWorkload(t, gen.Pokec, 250, 8, 31)
 	s := session.New(ds.G, rules, session.Options{Parallel: true, Par: par.Hybrid(6)})
+	defer s.Close()
 
 	if s.Partition() != nil {
 		t.Fatal("partition built before any parallel commit")
