@@ -613,7 +613,7 @@ func serveExp() {
 		if err != nil {
 			panic(err)
 		}
-		<-done
+		<-done.Done()
 		t1 := time.Now()
 		windows = append(windows, window{t0, t1})
 		writerWall += t1.Sub(t0)

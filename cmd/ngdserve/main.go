@@ -7,9 +7,12 @@
 // Endpoints:
 //
 //	GET  /healthz            liveness + current commit epoch
-//	GET  /violations         live store (query params: limit, offset, rule)
+//	GET  /violations         keyset-paginated store queries
+//	                         (query params: limit, after, rule, node)
 //	GET  /violations/{key}   one violation by canonical key
-//	GET  /stats              server, store and last-batch statistics
+//	GET  /feed               violation change feed (SSE; ?poll=1 long-poll,
+//	                         ?since=epoch cursor resume)
+//	GET  /stats              server, store, feed and last-batch statistics
 //	POST /update             {"ops":[...]}; add ?sync=1 to wait for commit
 //
 // The workload comes either from files in the text DSL:
@@ -73,6 +76,9 @@ var (
 	dataDir   = flag.String("data", "", "durable state directory (snapshot + write-ahead log); empty = in-memory only")
 	ckptEvery = flag.Int("checkpoint", 64, "with -data: batches between background checkpoints")
 	walNoSync = flag.Bool("wal-nosync", false, "with -data: skip the per-batch WAL fsync (faster; batches in the OS write-back window may be lost on crash)")
+	maxBody   = flag.Int64("max-body", 8<<20, "max POST /update body bytes (413 beyond it)")
+	feedLog   = flag.Int("feed-backlog", 64, "change-feed events retained for ?since= cursor resume (older cursors get 410)")
+	feedBuf   = flag.Int("feed-buffer", 32, "per-subscriber feed buffer; a consumer falling further behind is disconnected")
 )
 
 func main() {
@@ -137,7 +143,13 @@ func main() {
 		}
 	}
 
-	srvOpts := serve.Options{QueueDepth: *queue, Names: names}
+	srvOpts := serve.Options{
+		QueueDepth:  *queue,
+		Names:       names,
+		MaxBody:     *maxBody,
+		FeedBacklog: *feedLog,
+		FeedBuffer:  *feedBuf,
+	}
 	if st != nil {
 		srvOpts.OnNewNode = st.NoteName
 		srvOpts.DurabilityErr = st.Err

@@ -1,0 +1,140 @@
+package serve
+
+// Hub-level unit tests for the change feed: eviction, backlog aging,
+// cursor replay and shutdown semantics, independent of the HTTP layer.
+// The HTTP/differential coverage lives in feed_test.go (package
+// serve_test).
+
+import (
+	"errors"
+	"testing"
+)
+
+func mkEv(epoch int) *FeedEvent { return &FeedEvent{Epoch: epoch} }
+
+// drain collects everything currently buffered plus the close state.
+func drain(ch <-chan *FeedEvent) (epochs []int, closed bool) {
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return epochs, true
+			}
+			epochs = append(epochs, ev.Epoch)
+		default:
+			return epochs, false
+		}
+	}
+}
+
+func TestHubSlowConsumerEviction(t *testing.T) {
+	h := newFeedHub(0, 8, 2)
+	sub, err := h.subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nothing to replay, so the buffer is exactly the per-subscriber budget:
+	// the third undrained publish must evict, never block
+	h.publish(mkEv(1))
+	h.publish(mkEv(2))
+	h.publish(mkEv(3))
+	epochs, closed := drain(sub.C)
+	if !closed {
+		t.Fatal("overflowing subscriber channel not closed")
+	}
+	if len(epochs) != 2 || epochs[0] != 1 || epochs[1] != 2 {
+		t.Fatalf("buffered epochs = %v, want [1 2]", epochs)
+	}
+	if !errors.Is(sub.Err(), ErrSlowConsumer) {
+		t.Fatalf("Err() = %v, want ErrSlowConsumer", sub.Err())
+	}
+	if _, _, subs := h.stats(); subs != 0 {
+		t.Fatalf("evicted subscriber still registered (%d subs)", subs)
+	}
+	// a healthy subscriber arriving afterwards resumes from the backlog
+	s2, err := h.subscribe(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs, _ := drain(s2.C); len(epochs) != 2 || epochs[0] != 2 || epochs[1] != 3 {
+		t.Fatalf("resume replay = %v, want [2 3]", epochs)
+	}
+	s2.Close()
+	s2.Close() // idempotent
+	if _, ok := <-s2.C; ok {
+		t.Fatal("Close left the channel open")
+	}
+	if s2.Err() != nil {
+		t.Fatalf("clean Close reported %v", s2.Err())
+	}
+}
+
+func TestHubBacklogAgingAndCursors(t *testing.T) {
+	h := newFeedHub(0, 3, 4)
+	for e := 1; e <= 6; e++ {
+		h.publish(mkEv(e))
+	}
+	// capacity 3: epochs 4..6 retained, everything needed to resume from
+	// before epoch 3 is gone
+	floor, backlog, _ := h.stats()
+	if floor != 3 || backlog != 3 {
+		t.Fatalf("floor %d backlog %d, want 3 and 3", floor, backlog)
+	}
+	var aged *CursorAgedError
+	if _, err := h.subscribe(2); !errors.As(err, &aged) {
+		t.Fatalf("subscribe(2) = %v, want CursorAgedError", err)
+	} else if aged.Since != 2 || aged.Floor != 3 {
+		t.Fatalf("aged = %+v", aged)
+	}
+	if _, err := h.subscribe(0); !errors.As(err, &aged) {
+		t.Fatalf("subscribe(0) = %v, want CursorAgedError", err)
+	}
+	// the floor itself is still resumable: replay is exactly what follows it
+	sub, err := h.subscribe(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs, _ := drain(sub.C); len(epochs) != 3 || epochs[0] != 4 || epochs[2] != 6 {
+		t.Fatalf("replay from floor = %v, want [4 5 6]", epochs)
+	}
+	sub.Close()
+	// a current cursor replays nothing and then sees live publishes
+	live, err := h.subscribe(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs, _ := drain(live.C); len(epochs) != 0 {
+		t.Fatalf("current cursor replayed %v", epochs)
+	}
+	h.publish(mkEv(7))
+	if epochs, _ := drain(live.C); len(epochs) != 1 || epochs[0] != 7 {
+		t.Fatalf("live delivery = %v, want [7]", epochs)
+	}
+	live.Close()
+}
+
+func TestHubClose(t *testing.T) {
+	h := newFeedHub(0, 4, 4)
+	a, _ := h.subscribe(0)
+	b, _ := h.subscribe(0)
+	h.publish(mkEv(1))
+	h.close()
+	h.close() // idempotent
+	for _, sub := range []*FeedSub{a, b} {
+		epochs, closed := drain(sub.C)
+		if !closed {
+			t.Fatal("close left a subscriber channel open")
+		}
+		if len(epochs) != 1 || epochs[0] != 1 {
+			t.Fatalf("pre-close event lost: %v", epochs)
+		}
+		if sub.Err() != nil { // shutdown is clean, not an eviction
+			t.Fatalf("Err() after close = %v", sub.Err())
+		}
+	}
+	if _, err := h.subscribe(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("subscribe after close = %v, want ErrClosed", err)
+	}
+	h.publish(mkEv(2)) // must be a no-op, not a panic on closed channels
+	a.Close()          // unsubscribe after close stays safe
+}

@@ -2,10 +2,18 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
 	"net/http"
+	"net/url"
+	"sort"
 	"strconv"
+	"time"
 
 	"ngd/internal/core"
+	"ngd/internal/graph"
+	"ngd/internal/session"
 )
 
 // vioJSON is the wire form of one violation.
@@ -32,15 +40,23 @@ type updateRequest struct {
 // Handler returns the HTTP API:
 //
 //	GET  /healthz              liveness + current epoch
-//	GET  /violations           the live store (query: limit, offset, rule)
+//	GET  /violations           keyset-paginated store queries
+//	                           (query: limit, after, rule, node)
 //	GET  /violations/{key}     one violation by canonical key
+//	GET  /feed                 violation change feed: SSE by default,
+//	                           long-poll with ?poll=1; cursor: since=epoch
 //	GET  /stats                server + last-batch statistics
 //	POST /update               enqueue update ops ({"ops":[...]}; ?sync=1
 //	                           waits for the batch to commit)
 //
-// Every read is served from the atomically published snapshot: a reader
-// holds one consistent epoch for the whole request and is never blocked by
-// a commit in progress.
+// Every read is served from the atomically published snapshot+index pair:
+// a reader holds one consistent epoch for the whole request and is never
+// blocked by a commit in progress.
+//
+// Error contract: malformed numeric query params and unparseable or
+// trailing-garbage bodies get 400; an oversized /update body gets 413; a
+// /feed cursor older than the retained backlog gets 410 with the oldest
+// resumable epoch.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -48,46 +64,8 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": s.Snapshot().Epoch})
 	})
 
-	mux.HandleFunc("GET /violations", func(w http.ResponseWriter, r *http.Request) {
-		sn := s.Snapshot()
-		vios := sn.Violations()
-		rule := r.URL.Query().Get("rule")
-		if rule != "" {
-			filtered := make([]core.Violation, 0, 64)
-			for _, v := range vios {
-				if v.Rule.Name == rule {
-					filtered = append(filtered, v)
-				}
-			}
-			vios = filtered
-		}
-		total := len(vios)
-		offset := intParam(r, "offset", 0)
-		if offset < 0 {
-			offset = 0
-		}
-		if offset > total {
-			offset = total
-		}
-		limit := intParam(r, "limit", 100)
-		// negative means "the rest"; the upper clamp also guards
-		// offset+limit overflow from absurd client-supplied values
-		if limit < 0 || limit > total-offset {
-			limit = total - offset
-		}
-		page := vios[offset : offset+limit]
-		out := make([]vioJSON, len(page))
-		for i, v := range page {
-			out[i] = toVioJSON(v)
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"epoch":      sn.Epoch,
-			"total":      total,
-			"offset":     offset,
-			"returned":   len(out),
-			"violations": out,
-		})
-	})
+	mux.HandleFunc("GET /violations", s.handleViolations)
+	mux.HandleFunc("GET /feed", s.handleFeed)
 
 	mux.HandleFunc("GET /violations/{key}", func(w http.ResponseWriter, r *http.Request) {
 		sn := s.Snapshot()
@@ -107,54 +85,330 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 
-	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
-		var req updateRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
-			return
-		}
-		done, err := s.Enqueue(req.Ops)
-		if err != nil {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error()})
-			return
-		}
-		if r.URL.Query().Get("sync") != "" {
-			<-done
-			resp := map[string]any{
-				"committed": true, "ops": len(req.Ops), "epoch": s.Snapshot().Epoch,
-			}
-			// with a durability layer attached, tell the client whether a
-			// committed ack is also a persisted one — a latched WAL failure
-			// means the batch lives in memory only
-			if s.durabilityErr != nil {
-				if err := s.durabilityErr(); err != nil {
-					resp["durable"] = false
-					resp["durability_error"] = err.Error()
-				} else {
-					resp["durable"] = true
-				}
-			}
-			writeJSON(w, http.StatusOK, resp)
-			return
-		}
-		writeJSON(w, http.StatusAccepted, map[string]any{
-			"queued": true, "ops": len(req.Ops),
-		})
-	})
+	mux.HandleFunc("POST /update", s.handleUpdate)
 
 	return mux
 }
 
-func intParam(r *http.Request, name string, def int) int {
-	raw := r.URL.Query().Get(name)
-	if raw == "" {
-		return def
+// handleViolations serves keyset-cursor queries over one epoch's store:
+//
+//	limit=n        page size (default 100; -1 = the rest)
+//	after=<key>    resume strictly after this canonical key
+//	rule=<name>    only violations of one rule (secondary index)
+//	node=<id>      only violations whose match contains the node (index)
+//
+// Pages are consistent within the request's epoch; because keys are stable
+// identities (unlike offsets), a walk that spans commits resumes at the
+// correct position in the new epoch — concurrent ΔVio never shifts rows
+// under the cursor. The response carries "next" (the cursor for the
+// following page) while more rows remain.
+func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Has("offset") {
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": "offset pagination has been removed: it shifts under concurrent commits; use the keyset cursor ?after=<key> (response field \"next\")",
+		})
+		return
 	}
+	limit, err := intParam(q, "limit", 100)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	after := q.Get("after")
+	if q.Has("after") && after == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "invalid after: cursor must be a violation key (use the \"next\" field of the previous page)"})
+		return
+	}
+
+	v := s.cur.Load() // one load: snapshot + indexes of the same epoch
+	sn, idx := v.sn, v.idx
+
+	var page []core.Violation
+	var total, remaining int
+	rule := q.Get("rule")
+	switch {
+	case q.Has("node"):
+		id, err := intParam(q, "node", 0)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+			return
+		}
+		keys := idx.nodeKeys(graph.NodeID(id))
+		if rule != "" {
+			// intersect: walk the (short) node posting, keep the rule's
+			filtered := make([]string, 0, len(keys))
+			for _, k := range keys {
+				if vv, ok := sn.Get(k); ok && vv.Rule.Name == rule {
+					filtered = append(filtered, k)
+				}
+			}
+			keys = filtered
+		}
+		page, total, remaining = pageKeys(sn, keys, after, limit)
+	case rule != "":
+		page, total, remaining = pageKeys(sn, idx.ruleKeys(rule), after, limit)
+	default:
+		page, total, remaining = pageAll(sn, after, limit)
+	}
+
+	out := make([]vioJSON, len(page))
+	for i, vv := range page {
+		out[i] = toVioJSON(vv)
+	}
+	resp := map[string]any{
+		"epoch":      sn.Epoch,
+		"total":      total,
+		"returned":   len(out),
+		"violations": out,
+	}
+	if remaining > 0 && len(out) > 0 {
+		resp["next"] = out[len(out)-1].Key
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// pageKeys cuts one page out of a sorted posting list: seek past the
+// cursor, take up to limit, resolve keys against the same epoch's
+// snapshot. Cost is O(log total + page), independent of store size.
+func pageKeys(sn *session.Snapshot, keys []string, after string, limit int) (page []core.Violation, total, remaining int) {
+	total = len(keys)
+	i := 0
+	if after != "" {
+		i = sort.SearchStrings(keys, after)
+		if i < len(keys) && keys[i] == after {
+			i++
+		}
+	}
+	n := len(keys) - i
+	if limit >= 0 && limit < n {
+		n = limit
+	}
+	page = make([]core.Violation, 0, n)
+	for _, k := range keys[i : i+n] {
+		if v, ok := sn.Get(k); ok {
+			page = append(page, v)
+		}
+	}
+	return page, total, len(keys) - i - n
+}
+
+// pageAll pages the unfiltered store off the snapshot's key-sorted slice.
+func pageAll(sn *session.Snapshot, after string, limit int) (page []core.Violation, total, remaining int) {
+	vios := sn.Violations()
+	total = len(vios)
+	i := 0
+	if after != "" {
+		i = sort.Search(len(vios), func(j int) bool { return vios[j].Key() > after })
+	}
+	n := len(vios) - i
+	if limit >= 0 && limit < n {
+		n = limit
+	}
+	return vios[i : i+n], total, len(vios) - i - n
+}
+
+// handleFeed serves the violation change feed. Server-sent events by
+// default: one "commit" event per effective commit, id: set to the epoch
+// so Last-Event-ID/since resume lines up. With ?poll=1 it degrades to
+// long-polling for clients that cannot hold an SSE stream: the request
+// parks until an event arrives (or PollTimeout passes) and returns the
+// batch of events collected, plus next_since to resume from.
+func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	since, err := intParam(q, "since", s.Snapshot().Epoch)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	sub, err := s.Subscribe(since)
+	if err != nil {
+		var aged *CursorAgedError
+		switch {
+		case errors.As(err, &aged):
+			writeJSON(w, http.StatusGone, map[string]any{
+				"error":  err.Error(),
+				"oldest": aged.Floor,
+				"resync": "/violations?limit=-1 (then re-subscribe with since=<that response's epoch>)",
+			})
+		case errors.Is(err, ErrClosed):
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		}
+		return
+	}
+	defer sub.Close()
+
+	if q.Get("poll") != "" {
+		s.servePoll(w, r, sub, since)
+		return
+	}
+	s.serveSSE(w, r, sub)
+}
+
+// serveSSE streams feed events until the client hangs up, the server
+// closes, or the subscriber is evicted for falling behind.
+func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, sub *FeedSub) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, map[string]any{"error": "streaming unsupported by this connection"})
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": connected epoch=%d\n\n", s.Snapshot().Epoch)
+	fl.Flush()
+
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case ev, ok := <-sub.C:
+			if !ok {
+				if sub.Err() != nil { // evicted: tell the client before EOF
+					fmt.Fprintf(w, "event: error\ndata: {\"error\":%q}\n\n", sub.Err().Error())
+					fl.Flush()
+				}
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: commit\ndata: %s\n\n", ev.Epoch, ev.JSON())
+			fl.Flush()
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// servePoll is the long-poll fallback: wait (bounded) for the first event,
+// then drain whatever else is already buffered into the same response.
+func (s *Server) servePoll(w http.ResponseWriter, r *http.Request, sub *FeedSub, since int) {
+	var events []json.RawMessage
+	next := since
+	deadline := time.NewTimer(s.pollTimeout)
+	defer deadline.Stop()
+	wait := true
+	for wait {
+		select {
+		case ev, ok := <-sub.C:
+			if !ok {
+				if errors.Is(sub.Err(), ErrSlowConsumer) {
+					writeJSON(w, http.StatusGone, map[string]any{"error": sub.Err().Error()})
+					return
+				}
+				wait = false // server closing: return what we have
+				continue
+			}
+			events = append(events, ev.JSON())
+			next = ev.Epoch
+			// first event in hand: drain the rest without blocking
+			for {
+				select {
+				case more, ok := <-sub.C:
+					if !ok {
+						break
+					}
+					events = append(events, more.JSON())
+					next = more.Epoch
+					continue
+				default:
+				}
+				break
+			}
+			wait = false
+		case <-deadline.C:
+			wait = false
+		case <-r.Context().Done():
+			return
+		}
+	}
+	if events == nil {
+		events = []json.RawMessage{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":      s.Snapshot().Epoch,
+		"since":      since,
+		"events":     events,
+		"next_since": next,
+	})
+}
+
+// handleUpdate ingests update ops. The body is bounded (413 beyond
+// Options.MaxBody) and must be exactly one JSON object — trailing garbage
+// is rejected, so a concatenated or corrupted payload can never half-apply.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(r.Body)
+	var req updateRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+				"error": fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+			})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": "trailing data after JSON body",
+		})
+		return
+	}
+	ack, err := s.Enqueue(req.Ops)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error()})
+		return
+	}
+	if r.URL.Query().Get("sync") != "" {
+		<-ack.Done()
+		// ack.Epoch is recorded by the writer at commit time: it is the
+		// epoch of the commit that contained this batch, not whatever the
+		// writer has published by the time this handler resumes
+		resp := map[string]any{
+			"committed": true, "ops": len(req.Ops), "epoch": ack.Epoch(),
+		}
+		// with a durability layer attached, tell the client whether a
+		// committed ack is also a persisted one — a latched WAL failure
+		// means the batch lives in memory only
+		if s.durabilityErr != nil {
+			if err := s.durabilityErr(); err != nil {
+				resp["durable"] = false
+				resp["durability_error"] = err.Error()
+			} else {
+				resp["durable"] = true
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"queued": true, "ops": len(req.Ops),
+	})
+}
+
+// intParam parses an integer query param, returning def when absent and an
+// error when present but unparseable (including present-but-empty) —
+// malformed input is a client error (400), never silently coerced to a
+// default.
+func intParam(q url.Values, name string, def int) (int, error) {
+	if !q.Has(name) {
+		return def, nil
+	}
+	raw := q.Get(name)
 	n, err := strconv.Atoi(raw)
 	if err != nil {
-		return def
+		return 0, fmt.Errorf("invalid %s: %q is not an integer", name, raw)
 	}
-	return n
+	return n, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

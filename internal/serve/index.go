@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"sort"
+
+	"ngd/internal/core"
+	"ngd/internal/graph"
+	"ngd/internal/session"
+)
+
+// vioIndex is the secondary-index layer over one epoch's violation store:
+// sorted canonical-key postings by rule name and by member node id, so
+// GET /violations?rule= / ?node= are served by a seek into the matching
+// posting list instead of an O(|store|) filter scan.
+//
+// Indexes are copy-on-write and published atomically with their snapshot
+// (see serve.view): a commit derives the next epoch's index from the
+// previous one by applying the commit's reconciled ΔVio⁺/ΔVio⁻ — only the
+// touched posting lists are rebuilt, untouched ones are shared across
+// epochs. The by-node map is sharded by id so the per-commit map-header
+// copy is O(|V|/shard size + touched shards), not O(distinct violating
+// nodes).
+type vioIndex struct {
+	byRule map[string][]string         // rule name → ascending keys
+	byNode map[graph.NodeID]*nodeShard // id >> nodeShardBits → shard
+}
+
+// nodeShard groups the posting lists of one contiguous id range; cloned
+// wholesale when any of its nodes is touched by a commit.
+type nodeShard struct {
+	keys map[graph.NodeID][]string // node id → ascending keys
+}
+
+const nodeShardBits = 8
+
+// buildIndex scans a full snapshot once — paid only at server start; every
+// later epoch derives incrementally via apply.
+func buildIndex(sn *session.Snapshot) *vioIndex {
+	ix := &vioIndex{
+		byRule: make(map[string][]string),
+		byNode: make(map[graph.NodeID]*nodeShard),
+	}
+	for _, v := range sn.Violations() { // ascending key order
+		k := v.Key()
+		ix.byRule[v.Rule.Name] = append(ix.byRule[v.Rule.Name], k)
+		for _, id := range matchNodes(v) {
+			sh := ix.byNode[id>>nodeShardBits]
+			if sh == nil {
+				sh = &nodeShard{keys: make(map[graph.NodeID][]string)}
+				ix.byNode[id>>nodeShardBits] = sh
+			}
+			sh.keys[id] = append(sh.keys[id], k)
+		}
+	}
+	// postings inherit the snapshot's global key order per rule, but a
+	// node's violations interleave across rules — sort those
+	for _, sh := range ix.byNode {
+		for id := range sh.keys {
+			sort.Strings(sh.keys[id])
+		}
+	}
+	return ix
+}
+
+// apply derives the next epoch's index from ev without mutating the
+// receiver (published epochs stay frozen). Posting lists of untouched
+// rules/nodes are shared with the previous epoch.
+func (ix *vioIndex) apply(ev *session.CommitEvent) *vioIndex {
+	if len(ev.Added) == 0 && len(ev.Removed) == 0 {
+		return ix
+	}
+	type change struct{ add, del []string }
+	rules := make(map[string]*change)
+	nodes := make(map[graph.NodeID]*change)
+	record := func(vios []core.Violation, del bool) {
+		for _, v := range vios {
+			k := v.Key()
+			c := rules[v.Rule.Name]
+			if c == nil {
+				c = &change{}
+				rules[v.Rule.Name] = c
+			}
+			targets := []*change{c}
+			for _, id := range matchNodes(v) {
+				nc := nodes[id]
+				if nc == nil {
+					nc = &change{}
+					nodes[id] = nc
+				}
+				targets = append(targets, nc)
+			}
+			for _, t := range targets {
+				if del {
+					t.del = append(t.del, k)
+				} else {
+					t.add = append(t.add, k)
+				}
+			}
+		}
+	}
+	record(ev.Removed, true)
+	record(ev.Added, false)
+
+	next := &vioIndex{
+		byRule: make(map[string][]string, len(ix.byRule)),
+		byNode: make(map[graph.NodeID]*nodeShard, len(ix.byNode)),
+	}
+	for r, keys := range ix.byRule {
+		next.byRule[r] = keys
+	}
+	for s, sh := range ix.byNode {
+		next.byNode[s] = sh
+	}
+	for r, c := range rules {
+		if keys := editPosting(next.byRule[r], c.add, c.del); len(keys) > 0 {
+			next.byRule[r] = keys
+		} else {
+			delete(next.byRule, r)
+		}
+	}
+	cloned := make(map[graph.NodeID]bool)
+	for id, c := range nodes {
+		s := id >> nodeShardBits
+		sh := next.byNode[s]
+		if !cloned[s] {
+			cl := &nodeShard{keys: make(map[graph.NodeID][]string, 1)}
+			if sh != nil {
+				cl.keys = make(map[graph.NodeID][]string, len(sh.keys))
+				for n, ks := range sh.keys {
+					cl.keys[n] = ks
+				}
+			}
+			sh = cl
+			next.byNode[s] = sh
+			cloned[s] = true
+		}
+		if keys := editPosting(sh.keys[id], c.add, c.del); len(keys) > 0 {
+			sh.keys[id] = keys
+		} else {
+			delete(sh.keys, id)
+			if len(sh.keys) == 0 {
+				delete(next.byNode, s)
+			}
+		}
+	}
+	return next
+}
+
+// ruleKeys returns the ascending posting list for a rule (shared; read-only).
+func (ix *vioIndex) ruleKeys(rule string) []string { return ix.byRule[rule] }
+
+// nodeKeys returns the ascending posting list for a member node id.
+func (ix *vioIndex) nodeKeys(id graph.NodeID) []string {
+	sh := ix.byNode[id>>nodeShardBits]
+	if sh == nil {
+		return nil
+	}
+	return sh.keys[id]
+}
+
+// editPosting builds a fresh sorted posting list from old ∖ del ∪ add. The
+// inputs stay untouched (old is shared with published epochs).
+func editPosting(old, add, del []string) []string {
+	out := make([]string, 0, len(old)+len(add))
+	drop := make(map[string]bool, len(del))
+	for _, k := range del {
+		drop[k] = true
+	}
+	out = append(out, add...)
+	for _, k := range old {
+		if !drop[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// matchNodes returns the distinct node ids of a violation's match (a
+// homomorphism may bind several pattern nodes to one data node).
+func matchNodes(v core.Violation) []graph.NodeID {
+	ids := make([]graph.NodeID, 0, len(v.Match))
+	for _, id := range v.Match {
+		dup := false
+		for _, seen := range ids {
+			if seen == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}

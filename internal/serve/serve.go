@@ -15,8 +15,10 @@
 //     wait-free, never blocked by a commit in progress, and always seeing
 //     a consistent (post-commit) violation store.
 //
-// On top of the Server sits an HTTP API (Handler): violation queries,
-// update ingestion, stats and health — see cmd/ngdserve.
+// On top of the Server sits an HTTP API (Handler): violation queries with
+// secondary indexes and keyset cursors, a violation change feed (SSE and
+// long-poll) fed from the per-commit ΔVio⁺/ΔVio⁻, update ingestion, stats
+// and health — see cmd/ngdserve.
 package serve
 
 import (
@@ -24,6 +26,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ngd/internal/graph"
 	"ngd/internal/plan"
@@ -58,6 +61,20 @@ type Options struct {
 	// responses carry a "durable" field, so clients can tell an in-memory
 	// ack from a persisted one.
 	DurabilityErr func() error
+	// MaxBody caps the POST /update request body (default 8 MiB). Oversized
+	// bodies are rejected with 413 before they are buffered.
+	MaxBody int64
+	// FeedBacklog is how many committed change events the feed retains for
+	// since= cursor resume (default 64). A cursor older than the retained
+	// window gets 410 Gone and must full-resync.
+	FeedBacklog int
+	// FeedBuffer bounds each feed subscriber's event buffer beyond its
+	// initial replay (default 32). A subscriber that falls further behind
+	// is disconnected (slow-consumer eviction), never waited on.
+	FeedBuffer int
+	// PollTimeout is how long a long-poll GET /feed?poll=1 request waits
+	// for the first event before returning an empty page (default 25s).
+	PollTimeout time.Duration
 }
 
 // UpdateOp is one ingested operation, the wire format of POST /update.
@@ -100,16 +117,46 @@ type Stats struct {
 	// says how many of Σ's rules ride a shared matching prefix.
 	Plan plan.Counters `json:"plan"`
 
+	// FeedSubs / FeedBacklog / FeedOldest report the change feed: live
+	// subscribers, retained backlog events, and the oldest epoch a
+	// since= cursor can still resume from (older cursors get 410).
+	FeedSubs    int `json:"feed_subs"`
+	FeedBacklog int `json:"feed_backlog"`
+	FeedOldest  int `json:"feed_oldest"`
+
 	// LastBatch reports what the most recent commit did (nil before the
 	// first commit).
 	LastBatch *session.BatchStats `json:"last_batch,omitempty"`
 }
 
-// ingest is one queued update request; done (optional) is closed once the
-// request's batch has committed.
+// Ack is the handle Enqueue returns for one update request. Done is
+// closed once the request's batch has committed; Epoch then reports the
+// exact commit epoch that contained it — recorded by the writer at commit
+// time, so it never drifts to a later epoch the writer has moved on to.
+type Ack struct {
+	done  chan struct{}
+	epoch int // written by the writer before done is closed
+}
+
+// Done is closed once the ops' batch has committed.
+func (a *Ack) Done() <-chan struct{} { return a.done }
+
+// Epoch reports the commit epoch that contained the ops. Valid only after
+// Done is closed.
+func (a *Ack) Epoch() int { return a.epoch }
+
+// ingest is one queued update request.
 type ingest struct {
-	ops  []UpdateOp
-	done chan struct{}
+	ops []UpdateOp
+	ack *Ack
+}
+
+// view pairs the epoch's immutable snapshot with its secondary indexes so
+// readers resolve both from one atomic load — a query never sees an index
+// newer or older than the store it filters.
+type view struct {
+	sn  *session.Snapshot
+	idx *vioIndex
 }
 
 // Server owns a session and serves snapshot-isolated reads while updates
@@ -121,7 +168,10 @@ type Server struct {
 	afterCommit   func(session.BatchStats)
 	durabilityErr func() error
 	in            chan ingest
-	snap          atomic.Pointer[session.Snapshot]
+	cur           atomic.Pointer[view]
+	feed          *feedHub
+	maxBody       int64
+	pollTimeout   time.Duration
 
 	mu        sync.Mutex // guards closed
 	closed    bool
@@ -149,16 +199,32 @@ func New(sess *session.Session, opts Options) *Server {
 	if opts.Names == nil {
 		opts.Names = make(map[string]graph.NodeID)
 	}
+	if opts.MaxBody <= 0 {
+		opts.MaxBody = 8 << 20
+	}
+	if opts.FeedBacklog <= 0 {
+		opts.FeedBacklog = 64
+	}
+	if opts.FeedBuffer <= 0 {
+		opts.FeedBuffer = 32
+	}
+	if opts.PollTimeout <= 0 {
+		opts.PollTimeout = 25 * time.Second
+	}
 	s := &Server{
 		sess:          sess,
 		names:         opts.Names,
 		onNewNode:     opts.OnNewNode,
 		afterCommit:   opts.AfterCommit,
 		durabilityErr: opts.DurabilityErr,
+		maxBody:       opts.MaxBody,
+		pollTimeout:   opts.PollTimeout,
 		in:            make(chan ingest, opts.QueueDepth),
 		done:          make(chan struct{}),
 	}
-	s.snap.Store(sess.Snapshot())
+	sn := sess.Snapshot()
+	s.cur.Store(&view{sn: sn, idx: buildIndex(sn)})
+	s.feed = newFeedHub(sn.Epoch, opts.FeedBacklog, opts.FeedBuffer)
 	go s.writer()
 	return s
 }
@@ -166,7 +232,15 @@ func New(sess *session.Session, opts Options) *Server {
 // Snapshot returns the current epoch's immutable view. Wait-free; safe
 // from any goroutine; never blocked by an in-flight commit.
 func (s *Server) Snapshot() *session.Snapshot {
-	return s.snap.Load()
+	return s.cur.Load().sn
+}
+
+// Subscribe opens a change-feed subscription resuming after epoch since
+// (pass Snapshot().Epoch to receive only future commits). Events already
+// aged out of the backlog yield a *CursorAgedError; the HTTP layer exposes
+// this as GET /feed.
+func (s *Server) Subscribe(since int) (*FeedSub, error) {
+	return s.feed.subscribe(since)
 }
 
 // Stats summarizes the server.
@@ -178,7 +252,11 @@ func (s *Server) Stats() Stats {
 			durability = err.Error()
 		}
 	}
+	floor, backlog, subs := s.feed.stats()
 	return Stats{
+		FeedSubs:        subs,
+		FeedBacklog:     backlog,
+		FeedOldest:      floor,
 		DurabilityError: durability,
 		Plan:            s.sess.PlanStats(),
 		Epoch:           sn.Epoch,
@@ -194,30 +272,31 @@ func (s *Server) Stats() Stats {
 	}
 }
 
-// Enqueue queues update ops for the writer. It returns a channel that is
-// closed once the ops' batch has committed (callers that don't care simply
-// drop it). Blocks only when the ingest queue is full (backpressure).
-func (s *Server) Enqueue(ops []UpdateOp) (<-chan struct{}, error) {
+// Enqueue queues update ops for the writer. The returned Ack reports
+// commit completion (Done) and the exact epoch the batch landed in
+// (Epoch); callers that don't care simply drop it. Blocks only when the
+// ingest queue is full (backpressure).
+func (s *Server) Enqueue(ops []UpdateOp) (*Ack, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	ing := ingest{ops: ops, done: make(chan struct{})}
+	ing := ingest{ops: ops, ack: &Ack{done: make(chan struct{})}}
 	s.enqueued.Add(1)
 	s.queued.Add(1)
 	s.in <- ing
 	s.mu.Unlock()
-	return ing.done, nil
+	return ing.ack, nil
 }
 
 // Flush blocks until every update queued before the call has committed.
 func (s *Server) Flush() error {
-	done, err := s.Enqueue(nil)
+	ack, err := s.Enqueue(nil)
 	if err != nil {
 		return err
 	}
-	<-done
+	<-ack.Done()
 	return nil
 }
 
@@ -235,6 +314,7 @@ func (s *Server) Close() {
 		s.mu.Unlock()
 	}
 	<-s.done
+	s.feed.close() // the writer has exited: no publish can race this
 	s.closeSess.Do(s.sess.Close)
 }
 
@@ -299,16 +379,28 @@ func (s *Server) commitBatch(batch []ingest) {
 	st := s.sess.Commit(delta)
 	s.commits.Add(1)
 	s.lastBatch.Store(&st)
-	s.snap.Store(s.sess.Snapshot())
+
+	// publish the next epoch: snapshot plus secondary indexes derived from
+	// this commit's reconciled ΔVio⁺/ΔVio⁻, swapped in one atomic store
+	prev := s.cur.Load()
+	nv := &view{sn: s.sess.Snapshot(), idx: prev.idx}
+	var fe *FeedEvent
+	if ev := st.Event; ev != nil && len(ev.Added)+len(ev.Removed) > 0 {
+		nv.idx = prev.idx.apply(ev)
+		fe = toFeedEvent(ev)
+	}
+	s.cur.Store(nv)
+	if fe != nil {
+		s.feed.publish(fe)
+	}
 	if s.afterCommit != nil {
 		s.afterCommit(st)
 	}
 
 	for _, ing := range batch {
 		s.queued.Add(-1)
-		if ing.done != nil {
-			close(ing.done)
-		}
+		ing.ack.epoch = st.Batch
+		close(ing.ack.done)
 	}
 }
 

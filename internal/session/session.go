@@ -105,11 +105,29 @@ type BatchStats struct {
 	Cost float64
 	// StoreSize is |Vio(Σ, G)| after the commit.
 	StoreSize int
+	// Event is the commit's reconciled violation delta (the actual ΔVio⁺/
+	// ΔVio⁻ sets, not just the counts above). Excluded from JSON: /stats
+	// reports counts; the sets travel on the change feed.
+	Event *CommitEvent `json:"-"`
 	// LogErr is the error returned by the commit hook (write-ahead logging;
 	// see SetCommitHook), nil when no hook is installed or the append
 	// succeeded. The commit itself still completes: in-memory state stays
 	// consistent, only durability of this batch is in doubt.
 	LogErr error
+}
+
+// CommitEvent is the reconciled violation delta of one commit: exactly the
+// change a subscriber must apply to the previous epoch's violation set to
+// obtain this epoch's — store(Epoch) = store(Epoch−1) − Removed + Added.
+// Added includes both the incremental detector's ΔVio⁺ and the violations
+// found by the arriving-node absorption searches; both slices are sorted by
+// canonical key and deduplicated against the store, so replaying events in
+// epoch order is a faithful differential stream (the serving layer's change
+// feed and secondary indexes are built from it).
+type CommitEvent struct {
+	Epoch   int
+	Added   []core.Violation
+	Removed []core.Violation
 }
 
 // CommitHook observes every commit before it mutates the graph: it receives
@@ -451,11 +469,13 @@ func (s *Session) Commit(d *graph.Delta) BatchStats {
 	}
 
 	planBefore := s.prog.Counters()
+	ev := &CommitEvent{Epoch: s.commits}
 
 	// absorb nodes that arrived since the last commit (isolated pattern
 	// slots gain matches the edge-driven pivots cannot see)
 	st.NewNodes = s.g.NumNodes() - s.seenNodes
-	st.Absorbed = s.absorbNewNodes()
+	ev.Added = s.absorbNewNodes()
+	st.Absorbed = len(ev.Added)
 
 	// incremental answer on the pre-commit graph
 	if norm.Len() > 0 {
@@ -478,14 +498,28 @@ func (s *Session) Commit(d *graph.Delta) BatchStats {
 			st.Cost = float64(r.Counters.Candidates + r.Counters.Checks)
 			st.Pivots = r.Pivots
 		}
+		// reconcile, recording the *effective* store changes: the event
+		// must be an exact differential, so a ΔVio⁻ key the store never
+		// held (or a ΔVio⁺ key it already holds) is not echoed into it
 		for _, v := range minus {
-			delete(s.store, v.Key())
+			k := v.Key()
+			if _, ok := s.store[k]; ok {
+				delete(s.store, k)
+				ev.Removed = append(ev.Removed, v)
+			}
 		}
 		for _, v := range plus {
-			s.store[v.Key()] = v
+			k := v.Key()
+			if _, ok := s.store[k]; !ok {
+				s.store[k] = v
+				ev.Added = append(ev.Added, v)
+			}
 		}
 		st.Plus, st.Minus = len(plus), len(minus)
 	}
+	sortByKey(ev.Added)
+	sortByKey(ev.Removed)
+	st.Event = ev
 
 	planNow := s.prog.Counters().Sub(planBefore)
 	st.PlanHits, st.PlanMisses = planNow.Hits, planNow.Misses
@@ -513,16 +547,16 @@ func (s *Session) Commit(d *graph.Delta) BatchStats {
 // at isolated slots is emitted exactly once, by its smallest such slot.
 // Arriving nodes cannot extend any *old* match (they had no edges before
 // this commit, and isolated slots bind every candidate independently), so
-// only the seeded searches are needed. It returns the number of
-// violations it added to the store.
-func (s *Session) absorbNewNodes() int {
+// only the seeded searches are needed. It returns the violations it added
+// to the store.
+func (s *Session) absorbNewNodes() []core.Violation {
 	n := s.g.NumNodes()
 	lo := s.seenNodes
 	s.seenNodes = n
 	if n == lo || len(s.isoRules) == 0 {
-		return 0
+		return nil
 	}
-	absorbed := 0
+	var absorbed []core.Violation
 	for _, ir := range s.isoRules {
 		if len(ir.rule.Y) == 0 {
 			continue // X → ∅ can never be violated
@@ -552,14 +586,22 @@ func (s *Session) absorbNewNodes() int {
 						}
 					}
 					vio := core.Violation{Rule: ir.rule, Match: m}
-					s.store[vio.Key()] = vio
-					absorbed++
+					if k := vio.Key(); !s.Has(k) {
+						s.store[k] = vio
+						absorbed = append(absorbed, vio)
+					}
 					return true
 				})
 			}
 		}
 	}
 	return absorbed
+}
+
+// sortByKey orders a violation slice by canonical key (the order snapshots
+// and feed events expose).
+func sortByKey(vios []core.Violation) {
+	sort.Slice(vios, func(i, j int) bool { return vios[i].Key() < vios[j].Key() })
 }
 
 // Recheck audits the store invariant store ≡ Dect(Σ, G) with a from-scratch

@@ -444,7 +444,7 @@ func TestRecoverThroughServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	<-done
+	<-done.Done()
 	srv2.Close()
 }
 

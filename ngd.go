@@ -122,6 +122,21 @@ type (
 	// UpdateOp is the serving layer's wire-format update operation (edge
 	// insert/delete, or a new node arriving with attributes).
 	UpdateOp = serve.UpdateOp
+	// Ack is the handle Server.Enqueue returns: Done() is closed when the
+	// ops' batch has committed, and Epoch() then reports the exact commit
+	// epoch that contained it (recorded at commit time, never a later one).
+	Ack = serve.Ack
+	// CommitEvent is one commit's reconciled violation delta — the actual
+	// ΔVio⁺/ΔVio⁻ sets, carried on BatchStats.Event and streamed to feed
+	// subscribers.
+	CommitEvent = session.CommitEvent
+	// FeedEvent is the change feed's wire payload: one committed epoch's
+	// added violations and removed keys (GET /feed on the HTTP API).
+	FeedEvent = serve.FeedEvent
+	// FeedSub is a live change-feed subscription (Server.Subscribe):
+	// events arrive on C in epoch order; when C closes, Err says whether
+	// the subscriber was evicted for falling behind.
+	FeedSub = serve.FeedSub
 	// Partition assigns graph nodes to fragments for the parallel engine;
 	// a maintained Partition is kept current across session commits with
 	// incremental Extend/Refine passes instead of per-batch rebuilds.
@@ -297,10 +312,12 @@ func NewSession(g *Graph, rules *RuleSet, opts SessionOptions) *Session {
 
 // Serve starts the serving layer over a session: a writer goroutine that
 // owns the session, coalesces queued updates into single commits, and
-// atomically publishes immutable store snapshots for lock-free concurrent
-// reads. Wire it to HTTP with Server.Handler, push updates with
-// Server.Enqueue, read with Server.Snapshot, stop with Server.Close. The
-// session (and its graph) must not be used directly afterwards.
+// atomically publishes immutable store snapshots (with secondary indexes
+// by rule and by node) for lock-free concurrent reads. Wire it to HTTP
+// with Server.Handler, push updates with Server.Enqueue, subscribe to the
+// violation change feed with Server.Subscribe, read with Server.Snapshot,
+// stop with Server.Close. The session (and its graph) must not be used
+// directly afterwards.
 func Serve(sess *Session, opts ServeOptions) *Server {
 	return serve.New(sess, opts)
 }

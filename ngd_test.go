@@ -228,7 +228,7 @@ func TestPublicAPIServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	<-done
+	<-done.Done()
 	sn2 := srv.Snapshot()
 	if sn2.Epoch != 1 || sn2.Len() != 2 {
 		t.Fatalf("post-commit snapshot: epoch %d, %d violations; want 1, 2", sn2.Epoch, sn2.Len())
@@ -282,7 +282,7 @@ func TestPublicAPIDurableStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	<-done
+	<-done.Done()
 	wantKeys := make([]string, 0, 2)
 	for _, v := range srv.Snapshot().Violations() {
 		wantKeys = append(wantKeys, v.Key())
