@@ -30,6 +30,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ngd/internal/analyze"
 	"ngd/internal/core"
 	"ngd/internal/detect"
 	"ngd/internal/expr"
@@ -70,7 +72,7 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ngdbench [flags] <fig4a..fig4n|exp5|reason|stream|all>")
+		fmt.Fprintln(os.Stderr, "usage: ngdbench [flags] <fig4a..fig4n|exp5|reason|analyze|stream|all>")
 		os.Exit(2)
 	}
 	exp := flag.Arg(0)
@@ -91,6 +93,7 @@ func main() {
 		"fig4n":   varyIntvl,
 		"exp5":    exp5,
 		"reason":  reasonDemo,
+		"analyze": analyzeExp,
 		"stream":  streamExp,
 		"serve":   serveExp,
 		"recover": recoverExp,
@@ -99,7 +102,7 @@ func main() {
 	}
 	if exp == "all" {
 		for _, name := range []string{"fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
-			"fig4g", "fig4h", "fig4i", "fig4j", "fig4k", "fig4l", "fig4m", "fig4n", "exp5", "reason", "stream", "serve", "recover", "plan", "shards"} {
+			"fig4g", "fig4h", "fig4i", "fig4j", "fig4k", "fig4l", "fig4m", "fig4n", "exp5", "reason", "analyze", "stream", "serve", "recover", "plan", "shards"} {
 			experiments[name]()
 			fmt.Println()
 		}
@@ -961,11 +964,20 @@ func reasonDemo() {
 	report := func(label string, set *core.Set) {
 		start := time.Now()
 		v, err := reason.Satisfiable(set, reason.Options{})
-		if err != nil {
-			fmt.Printf("  %-18s error: %v\n", label, err)
-			return
+		el := time.Since(start).Round(time.Microsecond)
+		switch {
+		case errors.Is(err, reason.ErrNonLinear):
+			// Theorem 3: not a failure of the search, a hard undecidability
+			// boundary — never conflate with "no"
+			fmt.Printf("  %-18s non-linear Σ: analyses undecidable (Theorem 3) (%v)\n", label, el)
+		case err != nil:
+			fmt.Printf("  %-18s error: %v (%v)\n", label, err, el)
+		case v == reason.Unknown:
+			// budget exhaustion, not a verdict — never conflate with "no"
+			fmt.Printf("  %-18s undecided: analysis budget exhausted (%v)\n", label, el)
+		default:
+			fmt.Printf("  %-18s satisfiable=%-7v (%v)\n", label, v, el)
 		}
-		fmt.Printf("  %-18s satisfiable=%-7v (%v)\n", label, v, time.Since(start).Round(time.Microsecond))
 	}
 	report("{phi5}", core.NewSet(phi5))
 	report("{phi6}", core.NewSet(phi6))
@@ -978,4 +990,58 @@ func corePattern1() *pattern.Pattern {
 	q := pattern.New()
 	q.AddNode("x", "_")
 	return q
+}
+
+// ---- analyze: admission-gate cost vs ‖Σ‖ ----
+
+// analyzeExp measures the Σ admission gate (internal/analyze) as the rule
+// set grows: full-pass wall time on a satisfiable generated Σ (per-rule
+// triage + strong satisfiability + implication probes, parallel), and the
+// unsat-core extraction cost when a planted Example-5 conflict makes the
+// same Σ unsatisfiable (deletion shrinking must discard every innocent
+// rule). The EXPERIMENTS.md analysis-cost table is produced by this run.
+func analyzeExp() {
+	const gateBudget, conflictBudget = 5 * time.Second, 15 * time.Second
+	fmt.Printf("# analyze: Σ admission gate cost vs ‖Σ‖ (dbpedia rules, diameter ≤4, seed %d)\n", *seed)
+	fmt.Printf("# wall-clock budgets: gate %v, +conflict %v; exhaustion degrades to unknown, never a wrong verdict\n",
+		gateBudget, conflictBudget)
+	fmt.Printf("%6s %13s %8s %8s %8s %10s %12s %14s\n",
+		"‖Σ‖", "satisfiable", "strong", "implied", "dropped", "gate", "+conflict", "core")
+	for _, k := range []int{5, 10, 20, 50, 100} {
+		rules := gen.Rules(gen.DBpedia, gen.RuleConfig{Count: k, MaxDiameter: 4, Seed: *seed})
+		start := time.Now()
+		rep := analyze.Analyze(rules, analyze.Options{Timeout: gateBudget})
+		gate := time.Since(start)
+		implied := 0
+		for _, rr := range rep.Rules {
+			if rr.Implied == reason.Yes {
+				implied++
+			}
+		}
+
+		// plant the §4 Example 5 conflict: the gate must now pay unsat-core
+		// extraction, deletion-shrinking past the k innocent rules
+		mk := func(name string, then ...string) *core.NGD {
+			var lits []core.Literal
+			for _, s := range then {
+				lits = append(lits, core.MustLiteral(s))
+			}
+			return core.MustNew(name, corePattern1(), nil, lits)
+		}
+		poisoned := core.NewSet(append(append([]*core.NGD{}, rules.Rules...),
+			mk("phi5", "x.A = 7", "x.B = 7"), mk("phi6", "x.A + x.B = 11"))...)
+		start = time.Now()
+		prep := analyze.Analyze(poisoned, analyze.Options{Timeout: conflictBudget})
+		conflict := time.Since(start)
+		coreStr := "-"
+		if prep.Core != nil {
+			coreStr = fmt.Sprintf("%d/%d", len(prep.Core.Rules), k+2)
+			if !prep.Core.Minimal {
+				coreStr += " (budget)"
+			}
+		}
+		fmt.Printf("%6d %13v %8v %8d %8d %10v %12v %14s\n",
+			k, rep.Satisfiable, rep.StronglySatisfiable, implied, len(rep.Dropped),
+			gate.Round(time.Millisecond), conflict.Round(time.Millisecond), coreStr)
+	}
 }

@@ -1,13 +1,26 @@
 // Command ngdcheck detects NGD violations in a graph file, in batch or
-// incremental mode.
+// incremental mode, and runs the §4 static analyses over a rule set.
 //
 // Usage:
 //
 //	ngdcheck -rules rules.ngd -graph g.txt [-update delta.txt] [-p 8] [-limit n]
+//	ngdcheck -rules rules.ngd -analyze [-graph g.txt]
 //
 // Without -update it runs batch detection (Dect, or PDect when -p > 1) and
 // prints Vio(Σ, G). With -update it runs incremental detection (IncDect /
 // PIncDect) and prints ΔVio⁺ and ΔVio⁻.
+//
+// With -analyze it first runs the Σ admission analysis (satisfiability
+// triage, unsat-core extraction, minimization report); -graph becomes
+// optional — without it the command is a pure static check.
+//
+// Exit codes:
+//
+//	0  success: analysis found Σ satisfiable / detection completed
+//	1  runtime error (unreadable or malformed input)
+//	2  usage error (bad flags)
+//	3  -analyze: Σ is unsatisfiable (the minimal unsat core is printed)
+//	4  -analyze: satisfiability undecided within the analysis budget
 package main
 
 import (
@@ -15,24 +28,27 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"ngd"
 )
 
 var (
 	rulesPath  = flag.String("rules", "", "rule file (required)")
-	graphPath  = flag.String("graph", "", "graph file (required)")
+	graphPath  = flag.String("graph", "", "graph file (required unless -analyze)")
 	updatePath = flag.String("update", "", "update file (optional: incremental mode)")
 	workers    = flag.Int("p", 1, "parallel workers (1 = sequential)")
 	limit      = flag.Int("limit", 0, "stop after this many violations (0 = all)")
 	quiet      = flag.Bool("q", false, "print only counts")
+	doAnalyze  = flag.Bool("analyze", false, "run the Σ admission analysis (satisfiability, unsat core, minimization); exit 3 = unsatisfiable, 4 = undecided")
+	anTimeout  = flag.Duration("analyze-timeout", 30*time.Second, "wall-clock budget for -analyze")
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ngdcheck: ")
 	flag.Parse()
-	if *rulesPath == "" || *graphPath == "" {
+	if *rulesPath == "" || (*graphPath == "" && !*doAnalyze) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -41,10 +57,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rules, err := ngd.ParseRules(rf)
+	rules, lines, err := ngd.ParseRulesLocated(rf)
 	rf.Close()
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *doAnalyze {
+		runAnalysis(rules, lines)
+		if *graphPath == "" {
+			return
+		}
 	}
 
 	gf, err := os.Open(*graphPath)
@@ -73,6 +96,31 @@ func main() {
 		log.Fatal(err)
 	}
 	runIncremental(g, rules, delta)
+}
+
+// runAnalysis prints the Σ admission report and exits non-zero when Σ is
+// unusable: 3 = proven unsatisfiable, 4 = undecided within budget. On a
+// satisfiable Σ it returns so detection can proceed (when -graph is given).
+func runAnalysis(rules *ngd.RuleSet, lines map[string]int) {
+	rep := ngd.AnalyzeRules(rules, ngd.AnalysisOptions{Timeout: *anTimeout, Lines: lines})
+	fmt.Printf("Σ analysis: satisfiable=%v strongly=%v rules=%d dropped=%d elapsed=%dms\n",
+		rep.Satisfiable, rep.StronglySatisfiable, rep.NumRules, len(rep.Dropped), rep.ElapsedMS)
+	fmt.Printf("signature: %s\n", rep.Signature)
+	if d := rep.Diagnostic(); d != "" && !*quiet {
+		fmt.Print(d)
+	}
+	switch {
+	case rep.Unsat():
+		fmt.Fprint(os.Stderr, rep.Diagnostic())
+		log.Print("Σ is unsatisfiable: every batch against it is wasted work")
+		os.Exit(3)
+	case rep.Err != "":
+		log.Printf("analysis failed: %s", rep.Err)
+		os.Exit(4)
+	case rep.Satisfiable == ngd.Unknown:
+		log.Print("satisfiability undecided within the analysis budget (raise -analyze-timeout)")
+		os.Exit(4)
+	}
 }
 
 func runBatch(g *ngd.Graph, rules *ngd.RuleSet) {

@@ -1,0 +1,133 @@
+// Command ngdlint enforces the repo's determinism contract on the §4/§5
+// decision-procedure packages.
+//
+// The reasoning oracle (internal/reason), the exact integer solver
+// (internal/solver) and the virtual parallel driver (internal/par's
+// discrete-event path) must be pure functions of their inputs: replaying a
+// WAL, re-running an admission analysis, or re-simulating a makespan must
+// produce byte-identical results. Reading a clock or a random source breaks
+// that silently — budgets and deadlines in those packages are therefore
+// expressed as caller-supplied counters and Done channels, never as
+// time.Now() comparisons (see reason.Options and solver.Options.Done).
+//
+// ngdlint walks the source with go/parser and fails the build when a
+// guarded file imports "time" or "math/rand" (any API from either package
+// smuggles nondeterminism in). Real wall-clock code is confined to the
+// allowlisted files: internal/par/pool.go and internal/par/real.go host the
+// goroutine shard runtime, whose balancer ticker is genuinely temporal.
+// Test files are exempt — they may time themselves freely.
+//
+// Usage: ngdlint [repo root]   (default ".")
+// Exit 0 = clean, 1 = violations (one "file:line: message" per finding),
+// 2 = bad invocation or unparsable source.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// guarded maps each package directory (relative to the repo root) to its
+// allowlisted file names.
+var guarded = map[string]map[string]bool{
+	"internal/reason": {},
+	"internal/solver": {},
+	"internal/par":    {"pool.go": true, "real.go": true},
+}
+
+var banned = map[string]string{
+	"time":      "wall-clock reads break replay determinism (use budgets / Done channels)",
+	"math/rand": "random sources break replay determinism (derive choices from input order)",
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: ngdlint [repo root]")
+		os.Exit(2)
+	}
+	if len(os.Args) == 2 {
+		root = os.Args[1]
+	}
+
+	fset := token.NewFileSet()
+	var findings []string
+	for dir, allow := range guarded {
+		entries, err := os.ReadDir(filepath.Join(root, dir))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ngdlint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+				strings.HasSuffix(name, "_test.go") || allow[name] {
+				continue
+			}
+			path := filepath.Join(root, dir, name)
+			findings = append(findings, lintFile(fset, path)...)
+		}
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ngdlint: %d determinism violation(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// lintFile reports every banned import in the file, and — defense in depth,
+// in case a banned package sneaks in under a renamed import that a pure
+// import check would still catch but a human reviewer might not — every
+// selector call through such an import.
+func lintFile(fset *token.FileSet, path string) []string {
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ngdlint: %v\n", err)
+		os.Exit(2)
+	}
+	var findings []string
+	// import check: record the local name each banned import binds to
+	bannedNames := map[string]string{} // local identifier -> import path
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		reason, bad := banned[p]
+		if !bad {
+			continue
+		}
+		findings = append(findings, fmt.Sprintf("%s: import %q forbidden here: %s",
+			fset.Position(imp.Pos()), p, reason))
+		local := p[strings.LastIndex(p, "/")+1:]
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		bannedNames[local] = p
+	}
+	// call check: any use through the banned import's name
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if p, bad := bannedNames[id.Name]; bad {
+			findings = append(findings, fmt.Sprintf("%s: %s.%s reaches %q",
+				fset.Position(sel.Pos()), id.Name, sel.Sel.Name, p))
+		}
+		return true
+	})
+	return findings
+}

@@ -13,7 +13,14 @@
 //	GET  /feed               violation change feed (SSE; ?poll=1 long-poll,
 //	                         ?since=epoch cursor resume)
 //	GET  /stats              server, store, feed and last-batch statistics
+//	GET  /rules/analysis     Σ admission report (satisfiability, unsat core,
+//	                         minimization), cached by Σ signature
 //	POST /update             {"ops":[...]}; add ?sync=1 to wait for commit
+//
+// Every boot — fresh or recovered — runs the Σ admission gate (-analyze):
+// strict refuses an unsatisfiable rule set with its minimal unsat core on
+// stderr (exit 3), warn (the default) logs the findings and serves, off
+// skips the analysis and the session's rule minimization entirely.
 //
 // The workload comes either from files in the text DSL:
 //
@@ -49,9 +56,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"ngd/internal/analyze"
 	"ngd/internal/core"
 	"ngd/internal/dsl"
 	"ngd/internal/gen"
@@ -79,6 +88,8 @@ var (
 	maxBody   = flag.Int64("max-body", 8<<20, "max POST /update body bytes (413 beyond it)")
 	feedLog   = flag.Int("feed-backlog", 64, "change-feed events retained for ?since= cursor resume (older cursors get 410)")
 	feedBuf   = flag.Int("feed-buffer", 32, "per-subscriber feed buffer; a consumer falling further behind is disconnected")
+	anMode    = flag.String("analyze", "warn", "Σ admission gate: strict (refuse an unsatisfiable Σ, exit 3), warn (log findings, serve anyway), off (skip analysis and minimization)")
+	anTimeout = flag.Duration("analyze-timeout", 30*time.Second, "wall-clock budget for the Σ analysis; exhausted probes degrade to unknown (never refuse)")
 )
 
 func main() {
@@ -86,13 +97,23 @@ func main() {
 	log.SetPrefix("ngdserve: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
+	gateMode, err := analyze.ParseMode(*anMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ngdserve:", err)
+		os.Exit(2)
+	}
+
 	sessOpts := session.Options{Parallel: *parallel, Par: par.Hybrid(*workers)}
+	if gateMode == analyze.ModeOff {
+		sessOpts.Analyze.NoMinimize = true
+	}
 
 	var (
-		sess  *session.Session
-		rules *core.Set
-		names map[string]graph.NodeID
-		st    *store.Store
+		sess   *session.Session
+		rules  *core.Set
+		names  map[string]graph.NodeID
+		st     *store.Store
+		report *analyze.Report
 	)
 
 	if *dataDir != "" {
@@ -118,14 +139,18 @@ func main() {
 			log.Printf("recovered seq %d: snapshot seq %d (%d bytes, %v) + %d batches replayed (%d bytes, %v)%s",
 				rec.Seq, rec.SnapshotSeq, rec.SnapshotBytes, rec.SnapshotLoad.Round(time.Millisecond),
 				rec.Replayed, rec.WALBytes, rec.WALReplay.Round(time.Millisecond), torn)
+			// the admission gate runs on recovery too: the persisted Σ is
+			// re-analyzed (same signature, same verdicts) before serving
+			report = runGate(rules, nil, gateMode)
 		}
 	}
 
 	if sess == nil {
-		g, rs, nm, err := loadWorkload()
+		g, rs, nm, lines, err := loadWorkload()
 		if err != nil {
 			log.Fatal(err)
 		}
+		report = runGate(rs, lines, gateMode)
 		opened := time.Now()
 		sess = session.New(g, rs, sessOpts)
 		rules, names = rs, nm
@@ -149,6 +174,7 @@ func main() {
 		MaxBody:     *maxBody,
 		FeedBacklog: *feedLog,
 		FeedBuffer:  *feedBuf,
+		Analysis:    report,
 	}
 	if st != nil {
 		srvOpts.OnNewNode = st.NoteName
@@ -210,42 +236,67 @@ func main() {
 		fst.Epoch, fst.StoreSize, fst.Commits, fst.Coalesced)
 }
 
-// loadWorkload resolves the graph, rules and external-id mapping from the
-// flags: files in the text DSL, or a generated dataset.
-func loadWorkload() (*graph.Graph, *core.Set, map[string]graph.NodeID, error) {
+// runGate runs the Σ admission analysis (mode warn or strict), logs its
+// findings, and — in strict mode — refuses an unsatisfiable Σ with the
+// minimal unsat core on stderr and exit code 3. Returns the report for
+// GET /rules/analysis (nil when the gate is off).
+func runGate(rules *core.Set, lines map[string]int, mode analyze.Mode) *analyze.Report {
+	if mode == analyze.ModeOff {
+		return nil
+	}
+	rep := analyze.Analyze(rules, analyze.Options{Timeout: *anTimeout, Lines: lines})
+	log.Printf("Σ analysis (%s): satisfiable=%v strongly=%v rules=%d dropped=%d in %dms, signature %.12s…",
+		mode, rep.Satisfiable, rep.StronglySatisfiable, rep.NumRules, len(rep.Dropped),
+		rep.ElapsedMS, rep.Signature)
+	if d := rep.Diagnostic(); d != "" {
+		for _, line := range strings.Split(strings.TrimRight(d, "\n"), "\n") {
+			log.Print(line)
+		}
+	}
+	if mode == analyze.ModeStrict && rep.Unsat() {
+		fmt.Fprintf(os.Stderr, "ngdserve: refusing to serve an unsatisfiable Σ (-analyze=strict)\n%s", rep.Diagnostic())
+		os.Exit(3)
+	}
+	return rep
+}
+
+// loadWorkload resolves the graph, rules, external-id mapping and rule
+// source lines from the flags: files in the text DSL, or a generated
+// dataset (no source lines there).
+func loadWorkload() (*graph.Graph, *core.Set, map[string]graph.NodeID, map[string]int, error) {
 	if (*graphFile == "") == (*genName == "") {
 		if *dataDir != "" {
-			return nil, nil, nil, fmt.Errorf("%s holds no recoverable state yet: exactly one of -graph or -gen is required for the first boot", *dataDir)
+			return nil, nil, nil, nil, fmt.Errorf("%s holds no recoverable state yet: exactly one of -graph or -gen is required for the first boot", *dataDir)
 		}
-		return nil, nil, nil, fmt.Errorf("exactly one of -graph or -gen is required")
+		return nil, nil, nil, nil, fmt.Errorf("exactly one of -graph or -gen is required")
 	}
 	if *graphFile != "" {
 		if *rulesFile == "" {
-			return nil, nil, nil, fmt.Errorf("-rules is required with -graph")
+			return nil, nil, nil, nil, fmt.Errorf("-rules is required with -graph")
 		}
 		gf, err := os.Open(*graphFile)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		defer gf.Close()
 		g, names, err := dsl.LoadGraph(gf)
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("load graph: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("load graph: %w", err)
 		}
 		rf, err := os.Open(*rulesFile)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		defer rf.Close()
-		rules, err := dsl.ParseRules(rf)
+		rules, lines, err := dsl.ParseRulesLocated(rf)
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("parse rules: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("parse rules: %w", err)
 		}
-		return g, rules, names, nil
+		return g, rules, names, lines, nil
 	}
 	p, ok := gen.ProfileByName(*genName)
 	if !ok {
-		return nil, nil, nil, fmt.Errorf("unknown profile %q (dbpedia|yago2|pokec|synthetic)", *genName)
+		return nil, nil, nil, nil, fmt.Errorf("unknown profile %q (dbpedia|yago2|pokec|synthetic)", *genName)
 	}
 	ds := gen.Generate(p, *entities, *seed)
 	var rules *core.Set
@@ -254,5 +305,5 @@ func loadWorkload() (*graph.Graph, *core.Set, map[string]graph.NodeID, error) {
 	} else {
 		rules = gen.Rules(p, gen.RuleConfig{Count: *numRules, MaxDiameter: 4, Seed: *seed})
 	}
-	return ds.G, rules, nil, nil
+	return ds.G, rules, nil, nil, nil
 }

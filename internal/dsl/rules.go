@@ -33,9 +33,19 @@ import (
 
 // ParseRules reads a rule file.
 func ParseRules(r io.Reader) (*core.Set, error) {
+	set, _, err := ParseRulesLocated(r)
+	return set, err
+}
+
+// ParseRulesLocated reads a rule file and additionally returns the source
+// line number of each rule's header, keyed by rule name — the analysis gate
+// attaches them to its diagnostics so an operator can jump to the offending
+// rule.
+func ParseRulesLocated(r io.Reader) (*core.Set, map[string]int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	set := core.NewSet()
+	lines := make(map[string]int)
 	line := 0
 
 	next := func() (string, bool) {
@@ -60,18 +70,19 @@ func ParseRules(r io.Reader) (*core.Set, error) {
 		}
 		name, err := parseRuleHeader(s, line)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		lines[name] = line
 		rule, err := parseRuleBody(name, next, &line)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		set.Add(rule)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return set, nil
+	return set, lines, nil
 }
 
 func parseRuleHeader(s string, line int) (string, error) {

@@ -23,6 +23,7 @@
 package reason
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -59,12 +60,53 @@ func (v Verdict) String() string {
 	}
 }
 
+// MarshalJSON renders the verdict as its string form ("no"/"yes"/"unknown")
+// so analysis reports stay readable on the wire.
+func (v Verdict) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + v.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the string form.
+func (v *Verdict) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"no"`:
+		*v = No
+	case `"yes"`:
+		*v = Yes
+	case `"unknown"`:
+		*v = Unknown
+	default:
+		return fmt.Errorf("reason: bad verdict %s", b)
+	}
+	return nil
+}
+
 // Options bound the analyses.
+//
+// Budget semantics: the decision procedures are exact within their budgets —
+// a Yes or No answer is always correct — and degrade to Unknown, never to a
+// wrong answer, when any budget is exhausted. Three budgets apply:
+//
+//   - MaxMatches bounds how many homomorphic matches of Σ-patterns into a
+//     canonical instance are enumerated (the obligation set);
+//   - MaxBranches bounds the disjunctive search tree over ways to satisfy
+//     or falsify literals (where the Σp2 exponential lives);
+//   - Ctx, when non-nil, bounds the whole call in wall-clock time: the
+//     search polls the context between branches and between candidate
+//     patterns, and returns Unknown once it is done. Pair it with
+//     context.WithTimeout for a hard deadline — an admission gate running
+//     in strict mode can then never hang inside a Σp2 search.
+//
+// The solver's own node/split caps (Options.Solver) behave the same way:
+// its Unknown propagates as Unknown here.
 type Options struct {
 	// MaxMatches caps pattern-match enumeration per canonical instance.
 	MaxMatches int
 	// MaxBranches caps the disjunctive search tree.
 	MaxBranches int
+	// Ctx, when non-nil, carries a cancellation/deadline signal into the
+	// search; an expired context makes the analyses return Unknown.
+	Ctx context.Context
 	// Solver passes through to the integer feasibility solver.
 	Solver solver.Options
 }
@@ -79,6 +121,24 @@ func (o Options) defaults() Options {
 	return o
 }
 
+// done returns the context's cancellation channel (nil when unbounded).
+func (o Options) done() <-chan struct{} {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Done()
+}
+
+// expired reports whether the wall-clock budget is already exhausted.
+func (o Options) expired() bool {
+	select {
+	case <-o.done():
+		return true
+	default:
+		return false
+	}
+}
+
 // Satisfiable decides whether Σ has a model in which at least one pattern
 // of Σ matches (paper §4 satisfiability).
 func Satisfiable(rules *core.Set, opts Options) (Verdict, error) {
@@ -88,6 +148,9 @@ func Satisfiable(rules *core.Set, opts Options) (Verdict, error) {
 	opts = opts.defaults()
 	sawUnknown := false
 	for _, r := range rules.Rules {
+		if opts.expired() {
+			return Unknown, nil
+		}
 		v, err := consistentCanonical(rules, []*pattern.Pattern{r.Pattern}, nil, opts)
 		if err != nil {
 			return Unknown, err
@@ -103,6 +166,20 @@ func Satisfiable(rules *core.Set, opts Options) (Verdict, error) {
 		return Unknown, nil
 	}
 	return No, nil
+}
+
+// PatternConsistent decides whether the canonical instance of anchor's
+// pattern admits an attribute assignment under which every match of every
+// rule in Σ satisfies its dependency. It is the single-pattern probe that
+// Satisfiable existentially quantifies over; the analyze package uses it
+// to shrink an unsatisfiable Σ to a minimal core while holding the anchor
+// pattern fixed.
+func PatternConsistent(rules *core.Set, anchor *core.NGD, opts Options) (Verdict, error) {
+	if err := checkLinear(append(append([]*core.NGD{}, rules.Rules...), anchor)...); err != nil {
+		return Unknown, err
+	}
+	opts = opts.defaults()
+	return consistentCanonical(rules, []*pattern.Pattern{anchor.Pattern}, nil, opts)
 }
 
 // StronglySatisfiable decides whether Σ has a model in which *every*
@@ -193,6 +270,9 @@ func consistentCanonical(rules *core.Set, pats []*pattern.Pattern, negate *core.
 	// enumerate obligations: all matches of all Σ-patterns
 	var obligations []implication
 	for _, r := range rules.Rules {
+		if opts.expired() {
+			return Unknown, nil
+		}
 		cp := pattern.Compile(r.Pattern, g.Symbols())
 		pl := plan.ForPattern(g, cp)
 		mr := match.NewMatcher(g, pl, match.Hooks{})
@@ -203,9 +283,9 @@ func consistentCanonical(rules *core.Set, pats []*pattern.Pattern, negate *core.
 				over = true
 				return false
 			}
-			return true
+			return len(obligations)&0x3f != 0 || !opts.expired()
 		})
-		if over {
+		if over || opts.expired() {
 			return Unknown, nil
 		}
 	}

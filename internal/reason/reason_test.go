@@ -1,6 +1,7 @@
 package reason
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -241,5 +242,61 @@ func TestAbsInReasoning(t *testing.T) {
 	}
 	if v, err := Satisfiable(core.NewSet(absRule, gap1), Options{}); err != nil || v != Yes {
 		t.Fatalf("abs ∧ gap1: %v %v, want yes", v, err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	// a cancelled context degrades every analysis to Unknown — never to a
+	// wrong Yes/No — and a live context leaves the answers untouched.
+	phi5 := singleNodeRule("phi5", "_", nil, []core.Literal{
+		core.MustLiteral("x.A = 7"), core.MustLiteral("x.B = 7"),
+	})
+	phi6 := singleNodeRule("phi6", "_", nil, []core.Literal{
+		core.MustLiteral("x.A + x.B = 11"),
+	})
+	set := core.NewSet(phi5, phi6)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dead := Options{Ctx: ctx}
+	if v, err := Satisfiable(set, dead); err != nil || v != Unknown {
+		t.Fatalf("cancelled Satisfiable: %v %v, want unknown", v, err)
+	}
+	if v, err := StronglySatisfiable(set, dead); err != nil || v != Unknown {
+		t.Fatalf("cancelled StronglySatisfiable: %v %v, want unknown", v, err)
+	}
+	if v, err := Implies(set, phi5, dead); err != nil || v != Unknown {
+		t.Fatalf("cancelled Implies: %v %v, want unknown", v, err)
+	}
+	if v, err := PatternConsistent(set, phi5, dead); err != nil || v != Unknown {
+		t.Fatalf("cancelled PatternConsistent: %v %v, want unknown", v, err)
+	}
+
+	// a live context does not perturb the verdicts
+	live := Options{Ctx: context.Background()}
+	if v, err := Satisfiable(set, live); err != nil || v != No {
+		t.Fatalf("live Satisfiable: %v %v, want no", v, err)
+	}
+	if v, err := Implies(core.NewSet(phi5), phi5, live); err != nil || v != Yes {
+		t.Fatalf("live self-implication: %v %v, want yes", v, err)
+	}
+}
+
+func TestPatternConsistent(t *testing.T) {
+	// PatternConsistent(Σ, anchor) probes whether anchor's canonical
+	// instance admits an assignment satisfying all of Σ — the building
+	// block of unsat-core shrinking.
+	phi5 := singleNodeRule("phi5", "_", nil, []core.Literal{
+		core.MustLiteral("x.A = 7"), core.MustLiteral("x.B = 7"),
+	})
+	phi6 := singleNodeRule("phi6", "_", nil, []core.Literal{
+		core.MustLiteral("x.A + x.B = 11"),
+	})
+	if v, err := PatternConsistent(core.NewSet(phi5, phi6), phi5, Options{}); err != nil || v != No {
+		t.Fatalf("anchor φ5 under {φ5,φ6}: %v %v, want no", v, err)
+	}
+	// dropping φ6 from Σ while keeping the anchor: consistent again
+	if v, err := PatternConsistent(core.NewSet(phi5), phi5, Options{}); err != nil || v != Yes {
+		t.Fatalf("anchor φ5 under {φ5}: %v %v, want yes", v, err)
 	}
 }

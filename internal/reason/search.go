@@ -21,6 +21,7 @@ type varKey struct {
 type search struct {
 	g    *graph.Graph
 	opts Options
+	done <-chan struct{} // Options.Ctx cancellation; nil = unbounded
 
 	varIdx map[varKey]int
 	nVars  int
@@ -35,13 +36,32 @@ type search struct {
 }
 
 func newSearch(g *graph.Graph, opts Options) *search {
+	// thread the deadline into the integer solver: a single exact-rational
+	// Solve over a large obligation set can dwarf the branch loop, so the
+	// solver polls the same channel per node and per pivot batch
+	opts.Solver.Done = opts.done()
 	return &search{
-		g: g, opts: opts,
+		g: g, opts: opts, done: opts.done(),
 		varIdx:   make(map[varKey]int),
 		presence: make(map[varKey]bool),
 		strEq:    make(map[varKey]string),
 		strNe:    make(map[varKey][]string),
 		isStr:    make(map[varKey]bool),
+	}
+}
+
+// expired polls the wall-clock deadline. Polled once per branch: the
+// non-blocking select is noise next to the per-branch snapshot map copies,
+// and a coarser stride lets expensive solver leaves overshoot the deadline.
+func (s *search) expired() bool {
+	if s.done == nil {
+		return false
+	}
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -342,7 +362,7 @@ func (s *search) addStringLiteral(rule *core.NGD, m core.Match, lhs *expr.Expr, 
 // negated rule fail, when negate != nil). Yes = a consistent assignment
 // exists.
 func (s *search) searchImplications(obls []implication, i int, negate *core.NGD, negMatch core.Match, budget *int) Verdict {
-	if *budget <= 0 {
+	if *budget <= 0 || s.expired() {
 		return Unknown
 	}
 	*budget--

@@ -85,6 +85,16 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 
+	mux.HandleFunc("GET /rules/analysis", func(w http.ResponseWriter, r *http.Request) {
+		rep, cached := s.Analysis()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"epoch":           s.Snapshot().Epoch,
+			"cached":          cached,
+			"session_dropped": s.sess.DroppedRules(),
+			"report":          rep,
+		})
+	})
+
 	mux.HandleFunc("POST /update", s.handleUpdate)
 
 	return mux

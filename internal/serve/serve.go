@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ngd/internal/analyze"
 	"ngd/internal/graph"
 	"ngd/internal/plan"
 	"ngd/internal/session"
@@ -75,6 +76,17 @@ type Options struct {
 	// PollTimeout is how long a long-poll GET /feed?poll=1 request waits
 	// for the first event before returning an empty page (default 25s).
 	PollTimeout time.Duration
+	// Analysis, when set, is the Σ admission report computed at boot
+	// (cmd/ngdserve's -analyze gate over the full, pre-minimization rule
+	// set); GET /rules/analysis serves it verbatim. When nil the endpoint
+	// computes a report over the session's (minimized) Σ on first request
+	// and caches it keyed by Σ signature — the same signature a recovered
+	// process derives from the persisted rule text, and the key shape a
+	// future per-tenant registry will index by.
+	Analysis *analyze.Report
+	// AnalyzeOptions budgets the lazily computed report (default: 10s
+	// wall-clock timeout on top of reason's branch/match caps).
+	AnalyzeOptions analyze.Options
 }
 
 // UpdateOp is one ingested operation, the wire format of POST /update.
@@ -173,6 +185,14 @@ type Server struct {
 	maxBody       int64
 	pollTimeout   time.Duration
 
+	// Σ analysis served by GET /rules/analysis: the boot report when the
+	// gate ran in cmd/ngdserve, else lazily computed and cached by Σ
+	// signature (anMu guards the cache; requests never block the writer).
+	analysis *analyze.Report
+	anOpts   analyze.Options
+	anMu     sync.Mutex
+	anCache  map[string]*analyze.Report
+
 	mu        sync.Mutex // guards closed
 	closed    bool
 	done      chan struct{} // writer exited
@@ -211,6 +231,9 @@ func New(sess *session.Session, opts Options) *Server {
 	if opts.PollTimeout <= 0 {
 		opts.PollTimeout = 25 * time.Second
 	}
+	if opts.AnalyzeOptions.Timeout <= 0 {
+		opts.AnalyzeOptions.Timeout = 10 * time.Second
+	}
 	s := &Server{
 		sess:          sess,
 		names:         opts.Names,
@@ -219,6 +242,9 @@ func New(sess *session.Session, opts Options) *Server {
 		durabilityErr: opts.DurabilityErr,
 		maxBody:       opts.MaxBody,
 		pollTimeout:   opts.PollTimeout,
+		analysis:      opts.Analysis,
+		anOpts:        opts.AnalyzeOptions,
+		anCache:       make(map[string]*analyze.Report),
 		in:            make(chan ingest, opts.QueueDepth),
 		done:          make(chan struct{}),
 	}
@@ -233,6 +259,26 @@ func New(sess *session.Session, opts Options) *Server {
 // from any goroutine; never blocked by an in-flight commit.
 func (s *Server) Snapshot() *session.Snapshot {
 	return s.cur.Load().sn
+}
+
+// Analysis returns the Σ admission report and whether it was served from
+// cache: the boot-time report when one was injected (Options.Analysis),
+// else a lazily computed report over the session's rules, cached by Σ
+// signature. Safe from any goroutine; the analysis touches only the rule
+// set, never the graph, so it cannot race the writer.
+func (s *Server) Analysis() (*analyze.Report, bool) {
+	s.anMu.Lock()
+	defer s.anMu.Unlock()
+	if s.analysis != nil {
+		return s.analysis, true
+	}
+	sig := analyze.Signature(s.sess.Rules())
+	if rep, ok := s.anCache[sig]; ok {
+		return rep, true
+	}
+	rep := analyze.Analyze(s.sess.Rules(), s.anOpts)
+	s.anCache[sig] = rep
+	return rep, false
 }
 
 // Subscribe opens a change-feed subscription resuming after epoch since

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"ngd/internal/analyze"
 	"ngd/internal/core"
 	"ngd/internal/expr"
 	"ngd/internal/gen"
@@ -424,4 +425,107 @@ func TestServeSurfacesPlanCounters(t *testing.T) {
 func sessRecheck(s *serve.Server, sess *session.Session) error {
 	s.Close()
 	return sess.Recheck()
+}
+
+// deadRule cannot be violated in any graph (unsatisfiable precondition):
+// the session's admission pass must drop it and /rules/analysis must say so.
+func deadRule() *core.NGD {
+	q := pattern.New()
+	q.AddNode("x", "person")
+	return core.MustNew("dead", q,
+		[]core.Literal{
+			core.Lit(expr.V("x", "age"), expr.Lt, expr.C(0)),
+			core.Lit(expr.V("x", "age"), expr.Gt, expr.C(0)),
+		},
+		[]core.Literal{core.Lit(expr.V("x", "age"), expr.Eq, expr.C(1))})
+}
+
+func TestRulesAnalysisEndpoint(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("person")
+	g.SetAttr(a, "age", graph.Int(30))
+	b := g.AddNode("person")
+	g.SetAttr(b, "age", graph.Int(20))
+	g.AddEdge(a, b, "knows")
+	sess := session.New(g, core.NewSet(ageRule(), deadRule()), session.Options{})
+	if got := sess.DroppedRules(); len(got) != 1 || got[0] != "dead" {
+		t.Fatalf("session dropped = %v, want [dead]", got)
+	}
+
+	s := serve.New(sess, serve.Options{})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var first struct {
+		Epoch          int             `json:"epoch"`
+		Cached         bool            `json:"cached"`
+		SessionDropped []string        `json:"session_dropped"`
+		Report         json.RawMessage `json:"report"`
+	}
+	if code := getJSON(t, srv, "/rules/analysis", &first); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if first.Cached {
+		t.Fatal("first request claims cached")
+	}
+	if len(first.SessionDropped) != 1 || first.SessionDropped[0] != "dead" {
+		t.Fatalf("session_dropped = %v", first.SessionDropped)
+	}
+	var rep struct {
+		Signature   string `json:"signature"`
+		Satisfiable string `json:"satisfiable"`
+		NumRules    int    `json:"num_rules"`
+	}
+	if err := json.Unmarshal(first.Report, &rep); err != nil {
+		t.Fatal(err)
+	}
+	// the lazy report covers the session's minimized Σ
+	if rep.NumRules != 1 || rep.Satisfiable != "yes" || rep.Signature == "" {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// second request: served from the signature-keyed cache
+	var second struct {
+		Cached bool            `json:"cached"`
+		Report json.RawMessage `json:"report"`
+	}
+	getJSON(t, srv, "/rules/analysis", &second)
+	if !second.Cached {
+		t.Fatal("second request not cached")
+	}
+	if string(second.Report) != string(first.Report) {
+		t.Fatal("cache returned a different report")
+	}
+}
+
+func TestRulesAnalysisInjectedReport(t *testing.T) {
+	// ngdserve's boot gate injects its report over the full Σ; the
+	// endpoint must serve it verbatim and mark it cached.
+	full := core.NewSet(ageRule(), deadRule())
+	rep := analyze.Analyze(full, analyze.Options{})
+	if len(rep.Dropped) != 1 || rep.Dropped[0] != "dead" {
+		t.Fatalf("boot report dropped = %v", rep.Dropped)
+	}
+	sess, names := tinyWorld(t)
+	s := serve.New(sess, serve.Options{Names: names, Analysis: rep})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var got struct {
+		Cached bool `json:"cached"`
+		Report struct {
+			Signature string   `json:"signature"`
+			NumRules  int      `json:"num_rules"`
+			Dropped   []string `json:"dropped"`
+		} `json:"report"`
+	}
+	getJSON(t, srv, "/rules/analysis", &got)
+	if !got.Cached || got.Report.Signature != rep.Signature || got.Report.NumRules != 2 {
+		t.Fatalf("injected report not served: %+v", got)
+	}
+	if len(got.Report.Dropped) != 1 || got.Report.Dropped[0] != "dead" {
+		t.Fatalf("dropped = %v", got.Report.Dropped)
+	}
 }

@@ -1,0 +1,121 @@
+package session_test
+
+// Differential property behind the admission gate's minimization claim
+// (DESIGN.md §10): for every Σ and every G,
+//
+//	Vio(minimize(Σ), G) ≡ Vio(Σ, G)
+//
+// where minimize drops exactly the unviolable rules (∅ ⊨ φ). The suite
+// sweeps the full fuzz workload table with two planted unviolable rules —
+// one with an unsatisfiable precondition, one with an empty consequent —
+// and checks the violation sets stay byte-identical under sequential Dect,
+// parallel PDect, and a committing session (which minimizes by default),
+// across every committed batch.
+
+import (
+	"testing"
+
+	"ngd/internal/analyze"
+	"ngd/internal/core"
+	"ngd/internal/detect"
+	"ngd/internal/expr"
+	"ngd/internal/gen"
+	"ngd/internal/par"
+	"ngd/internal/pattern"
+	"ngd/internal/reason"
+	"ngd/internal/session"
+	"ngd/internal/update"
+)
+
+// deadPreRule can never fire: its precondition x.val < 0 ∧ x.val > 0 is
+// unsatisfiable, so ∅ ⊨ φ and minimization must drop it.
+func deadPreRule() *core.NGD {
+	q := pattern.New()
+	q.AddNode("x", "integer")
+	return core.MustNew("diff-dead-pre", q,
+		[]core.Literal{
+			core.Lit(expr.V("x", "val"), expr.Lt, expr.C(0)),
+			core.Lit(expr.V("x", "val"), expr.Gt, expr.C(0)),
+		},
+		[]core.Literal{core.Lit(expr.V("x", "val"), expr.Eq, expr.C(1))})
+}
+
+// emptyConsRule has Y = ∅: X → ∅ cannot be violated, so it is unviolable
+// and must be dropped too.
+func emptyConsRule() *core.NGD {
+	q := pattern.New()
+	q.AddNode("x", "integer")
+	return core.MustNew("diff-empty-cons", q,
+		[]core.Literal{core.Lit(expr.V("x", "val"), expr.Ge, expr.C(0))}, nil)
+}
+
+func TestDifferentialMinimization(t *testing.T) {
+	workloads := diffWorkloads()
+	if len(workloads) < 24 {
+		t.Fatalf("workload table shrank to %d entries", len(workloads))
+	}
+	for _, w := range workloads {
+		w := w
+		t.Run(w.name(), func(t *testing.T) {
+			t.Parallel()
+			runMinimizeDifferential(t, w)
+		})
+	}
+}
+
+func runMinimizeDifferential(t *testing.T, w diffWorkload) {
+	ds := gen.Generate(w.profile, w.entities, w.seed)
+	full := gen.Rules(w.profile, gen.RuleConfig{Count: w.rules, MaxDiameter: 4, Seed: w.seed})
+	full.Add(deadPreRule())
+	full.Add(emptyConsRule())
+
+	min, dropped := analyze.MinimizeUnviolable(full, reason.Options{})
+	if len(dropped) != 2 {
+		t.Fatalf("workload %s: expected both planted unviolable rules dropped, got %v",
+			w.name(), dropped)
+	}
+	if min.Len() != full.Len()-2 {
+		t.Fatalf("workload %s: minimize removed a live rule: %d -> %d",
+			w.name(), full.Len(), min.Len())
+	}
+
+	dOpts := detect.Options{NoPruning: w.noPruning}
+	parOpts := par.Hybrid(6)
+	parOpts.NoPruning = w.noPruning
+
+	// batch equivalence on the seed graph, sequential and parallel
+	if got, want := canon(detect.Dect(ds.G, min, dOpts).Violations),
+		canon(detect.Dect(ds.G, full, dOpts).Violations); got != want {
+		t.Fatalf("workload %s: Dect(minΣ) != Dect(Σ)\nmin:\n%s\nfull:\n%s", w.name(), got, want)
+	}
+	if got, want := canon(par.PDect(ds.G, min, parOpts).Violations),
+		canon(par.PDect(ds.G, full, parOpts).Violations); got != want {
+		t.Fatalf("workload %s: PDect(minΣ) != PDect(Σ)\nmin:\n%s\nfull:\n%s", w.name(), got, want)
+	}
+
+	// continuous detection: a session handed the FULL Σ (admission
+	// minimization on by default) must track from-scratch detection with
+	// the full Σ across every committed batch
+	sess := session.New(ds.G, full, session.Options{
+		Parallel: w.parallel, NoPruning: w.noPruning,
+	})
+	defer sess.Close()
+	if got := len(sess.DroppedRules()); got != 2 {
+		t.Fatalf("workload %s: session dropped %d rules, want 2", w.name(), got)
+	}
+	for b := 0; b < w.batches; b++ {
+		delta := update.Random(ds, update.Config{
+			Size:    update.SizeFor(ds.G, w.batchFrac),
+			Gamma:   w.gamma,
+			Seed:    w.seed*1000 + int64(b),
+			Hotspot: w.hotspot,
+		})
+		sess.Commit(delta)
+		store := canon(sess.Violations())
+		truth := canon(detect.Dect(ds.G, full, dOpts).Violations)
+		if store != truth {
+			t.Fatalf("workload %s batch %d: minimized session store != Dect(Σ,G)\nstore:\n%s\ntruth:\n%s",
+				w.name(), b, store, truth)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sort"
 	"sync"
 
+	"ngd/internal/analyze"
 	"ngd/internal/core"
 	"ngd/internal/detect"
 	"ngd/internal/graph"
@@ -65,6 +66,14 @@ type Options struct {
 	// is right for serving; the toggles exist for differential tests and
 	// benchmarks.
 	Plan plan.Options
+	// Analyze configures the Σ admission pass run at construction. The
+	// zero value minimizes: unviolable rules (∅ ⊨ φ — no graph can violate
+	// them) are dropped before the program is compiled, which preserves
+	// Vio(Σ, G) exactly for every G while shrinking what every detector,
+	// plan and shard pays for. Set Analyze.NoMinimize to keep the full Σ;
+	// Analyze.Reason budgets the implication probes. Dropped rule names
+	// are reported by DroppedRules.
+	Analyze analyze.Options
 }
 
 // BatchStats reports what one Commit did.
@@ -150,6 +159,9 @@ type Session struct {
 	g     *graph.Graph
 	rules *core.Set
 	opts  Options
+	// dropped names the rules removed by the admission pass (unviolable
+	// rules; see Options.Analyze), in Σ order.
+	dropped []string
 
 	// prog is the session's shared rule program: Σ compiled once, matching
 	// plans cached across commits, shared prefixes arranged once. Every
@@ -239,9 +251,9 @@ func New(g *graph.Graph, rules *core.Set, opts Options) *Session {
 	s := newSession(g, rules, opts)
 	var vios []core.Violation
 	if opts.Parallel {
-		vios = par.PDect(g, rules, s.parOpts()).Violations
+		vios = par.PDect(g, s.rules, s.parOpts()).Violations
 	} else {
-		vios = detect.Dect(g, rules, detect.Options{
+		vios = detect.Dect(g, s.rules, detect.Options{
 			NoPruning: opts.NoPruning, Program: s.prog,
 		}).Violations
 	}
@@ -273,10 +285,19 @@ func Restore(g *graph.Graph, rules *core.Set, vios []core.Violation, opts Option
 func newSession(g *graph.Graph, rules *core.Set, opts Options) *Session {
 	po := opts.Plan
 	po.NoPruning = po.NoPruning || opts.NoPruning
+	var dropped []string
+	if !opts.Analyze.NoMinimize {
+		// Σ admission: drop unviolable rules (∅ ⊨ φ) before compiling the
+		// program. Vio-preserving — such a rule contributes no violation in
+		// any graph — so the store invariant is stated against the same set
+		// every detector now sees.
+		rules, dropped = analyze.MinimizeUnviolable(rules, opts.Analyze.Reason)
+	}
 	s := &Session{
 		g:         g,
 		rules:     rules,
 		opts:      opts,
+		dropped:   dropped,
 		prog:      plan.New(g, rules, po),
 		store:     make(map[string]core.Violation),
 		edgeRules: core.NewSet(),
@@ -381,8 +402,12 @@ func (s *Session) SetParallel(on bool) { s.opts.Parallel = on }
 // Commit).
 func (s *Session) Graph() *graph.Graph { return s.g }
 
-// Rules exposes Σ.
+// Rules exposes Σ as the session runs it (after admission minimization).
 func (s *Session) Rules() *core.Set { return s.rules }
+
+// DroppedRules names the rules the admission pass removed at construction
+// (unviolable rules), in the original Σ order; nil when nothing dropped.
+func (s *Session) DroppedRules() []string { return s.dropped }
 
 // Len reports the live store size |Vio(Σ, G)|.
 func (s *Session) Len() int { return len(s.store) }

@@ -10,14 +10,19 @@ import "math/big"
 // variables; phase 1 minimizes the artificial sum with Bland's rule (which
 // cannot cycle). Feasible iff the phase-1 optimum is zero; the witness
 // assignment is read off the final basis.
-func lpFeasible(numVars int, cons []Constraint) ([]*big.Rat, bool) {
+//
+// done, when non-nil, aborts the pivot loop once closed (polled every 32
+// pivots — a pivot over a large exact-rational tableau can cost
+// milliseconds, so this is where wall-clock deadlines bite). An aborted
+// run returns aborted=true and the other results are meaningless.
+func lpFeasible(numVars int, cons []Constraint, done <-chan struct{}) (asg []*big.Rat, feasible, aborted bool) {
 	m := len(cons)
 	if m == 0 {
 		out := make([]*big.Rat, numVars)
 		for i := range out {
 			out[i] = new(big.Rat)
 		}
-		return out, true
+		return out, true, false
 	}
 	// columns: 2*numVars split vars, m slacks, up to m artificials
 	nSplit := 2 * numVars
@@ -80,7 +85,7 @@ func lpFeasible(numVars int, cons []Constraint) ([]*big.Rat, bool) {
 			out[i] = new(big.Rat)
 		}
 		// need rhs ≥ 0 for all rows, which holds by construction here
-		return out, true
+		return out, true, false
 	}
 
 	// phase-1 objective: minimize Σ artificials. Reduced-cost row starts as
@@ -100,7 +105,14 @@ func lpFeasible(numVars int, cons []Constraint) ([]*big.Rat, bool) {
 
 	for iter := 0; ; iter++ {
 		if iter > 10000*(nTotal+m) {
-			return nil, false // safety net; Bland's rule should terminate long before
+			return nil, false, false // safety net; Bland's rule should terminate long before
+		}
+		if done != nil && iter&0x1f == 0 {
+			select {
+			case <-done:
+				return nil, false, true
+			default:
+			}
 		}
 		// entering: smallest index with negative reduced cost (Bland)
 		enter := -1
@@ -132,13 +144,13 @@ func lpFeasible(numVars int, cons []Constraint) ([]*big.Rat, bool) {
 		if leave < 0 {
 			// unbounded in a minimization with objective bounded below by 0
 			// cannot happen; treat defensively as infeasible
-			return nil, false
+			return nil, false, false
 		}
 		pivot(rows, rhs, obj, objVal, leave, enter)
 		basis[leave] = enter
 	}
 	if objVal.Sign() != 0 {
-		return nil, false // artificials cannot all reach zero
+		return nil, false, false // artificials cannot all reach zero
 	}
 	// read off original variables
 	vals := make([]*big.Rat, nSplit)
@@ -154,7 +166,7 @@ func lpFeasible(numVars int, cons []Constraint) ([]*big.Rat, bool) {
 	for v := 0; v < numVars; v++ {
 		out[v] = new(big.Rat).Sub(vals[2*v], vals[2*v+1])
 	}
-	return out, true
+	return out, true, false
 }
 
 // pivot performs a simplex pivot on (leave, enter).

@@ -104,6 +104,25 @@ type Options struct {
 	MaxNodes int
 	// MaxNeSplits caps disjunctive ≠ splits (default 16).
 	MaxNeSplits int
+	// Done, when non-nil, aborts the search once the channel is closed
+	// (polled per branch-and-bound node and every 32 simplex pivots);
+	// an aborted Solve reports Unknown, never a wrong verdict. The solver
+	// itself never reads a clock, so determinism is preserved: the caller
+	// owns the deadline.
+	Done <-chan struct{}
+}
+
+// expired is a non-blocking poll of the Done channel.
+func (o Options) expired() bool {
+	if o.Done == nil {
+		return false
+	}
+	select {
+	case <-o.Done:
+		return true
+	default:
+		return false
+	}
 }
 
 func (o Options) defaults() Options {
@@ -258,7 +277,7 @@ func negate(c Constraint, rel Rel) Constraint {
 
 // branchAndBound solves the ≠-free system.
 func (s *System) branchAndBound(opts Options, budget *int) (Status, []*big.Rat) {
-	if *budget <= 0 {
+	if *budget <= 0 || opts.expired() {
 		return Unknown, nil
 	}
 	*budget--
@@ -266,7 +285,10 @@ func (s *System) branchAndBound(opts Options, budget *int) (Status, []*big.Rat) 
 	if !ok {
 		return Unknown, nil
 	}
-	asg, feas := lpFeasible(s.NumVars, cons)
+	asg, feas, aborted := lpFeasible(s.NumVars, cons, opts.Done)
+	if aborted {
+		return Unknown, nil
+	}
 	if !feas {
 		return Infeasible, nil
 	}

@@ -39,6 +39,7 @@ package ngd
 import (
 	"io"
 
+	"ngd/internal/analyze"
 	"ngd/internal/core"
 	"ngd/internal/detect"
 	"ngd/internal/dsl"
@@ -218,6 +219,12 @@ func ParseExpr(src string) (*Expr, error) { return expr.Parse(src) }
 // internal/dsl for the grammar).
 func ParseRules(r io.Reader) (*RuleSet, error) { return dsl.ParseRules(r) }
 
+// ParseRulesLocated additionally returns each rule's source line (by name)
+// for analysis diagnostics.
+func ParseRulesLocated(r io.Reader) (*RuleSet, map[string]int, error) {
+	return dsl.ParseRulesLocated(r)
+}
+
 // FormatRules renders a rule set in the DSL (re-parseable).
 func FormatRules(set *RuleSet) string { return dsl.FormatRules(set) }
 
@@ -369,3 +376,51 @@ func StronglySatisfiable(rules *RuleSet) (Verdict, error) {
 func Implies(rules *RuleSet, phi *Rule) (Verdict, error) {
 	return reason.Implies(rules, phi, reason.Options{})
 }
+
+// AnalysisOptions configure the Σ admission analysis (budgets, wall-clock
+// timeout, minimization toggles, rule source lines for diagnostics).
+type AnalysisOptions = analyze.Options
+
+// AnalysisReport is the structured result of the Σ admission analysis:
+// whole-set and per-rule satisfiability, the minimal unsat core when Σ is
+// unsatisfiable, implication flags and the minimization drop list. It is
+// the JSON document GET /rules/analysis serves.
+type AnalysisReport = analyze.Report
+
+// RuleAnalysis is one rule's triage entry in an AnalysisReport.
+type RuleAnalysis = analyze.RuleReport
+
+// UnsatCore is a minimal conflicting subset of an unsatisfiable Σ, with
+// its literals rendered for diagnostics.
+type UnsatCore = analyze.UnsatCore
+
+// AnalyzeMode selects how a caller acts on an AnalysisReport (off, warn,
+// strict); parse flag values with ParseAnalyzeMode.
+type AnalyzeMode = analyze.Mode
+
+// Analyze modes.
+const (
+	AnalyzeOff    = analyze.ModeOff
+	AnalyzeWarn   = analyze.ModeWarn
+	AnalyzeStrict = analyze.ModeStrict
+)
+
+// ParseAnalyzeMode parses "off", "warn" or "strict".
+func ParseAnalyzeMode(s string) (AnalyzeMode, error) { return analyze.ParseMode(s) }
+
+// AnalyzeRules runs the full Σ admission analysis: satisfiability triage,
+// unsat-core extraction and implication-based minimization.
+func AnalyzeRules(rules *RuleSet, opts AnalysisOptions) *AnalysisReport {
+	return analyze.Analyze(rules, opts)
+}
+
+// MinimizeRules drops exactly the unviolable rules of Σ (∅ ⊨ φ) — the
+// Vio-preserving fragment of minimization: detection output is identical
+// on every graph. It returns the minimized set and the dropped names.
+func MinimizeRules(rules *RuleSet) (*RuleSet, []string) {
+	return analyze.MinimizeUnviolable(rules, reason.Options{})
+}
+
+// RulesSignature is the canonical Σ identity (sha256 over the DSL
+// rendering) that analysis reports and the serving layer's cache key on.
+func RulesSignature(rules *RuleSet) string { return analyze.Signature(rules) }

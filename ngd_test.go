@@ -363,3 +363,43 @@ func TestPublicAPIProgram(t *testing.T) {
 		t.Fatal("session program compiled no rules")
 	}
 }
+
+func TestPublicAPIAnalysis(t *testing.T) {
+	mk := func(name, lit string) *ngd.Rule {
+		q := ngd.NewPattern()
+		q.AddNode("x", "_")
+		return ngd.MustRule(name, q, nil, []ngd.Literal{ngd.MustLiteral(lit)})
+	}
+	conflict := ngd.NewRuleSet(mk("a", "x.v = 7"), mk("b", "x.v = 8"))
+
+	rep := ngd.AnalyzeRules(conflict, ngd.AnalysisOptions{})
+	if rep.Satisfiable != ngd.No || rep.Core == nil || len(rep.Core.Rules) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Signature != ngd.RulesSignature(conflict) {
+		t.Fatal("signature mismatch")
+	}
+
+	q := ngd.NewPattern()
+	q.AddNode("x", "_")
+	dead := ngd.MustRule("dead", q,
+		[]ngd.Literal{ngd.MustLiteral("x.v < 0"), ngd.MustLiteral("x.v > 0")},
+		[]ngd.Literal{ngd.MustLiteral("x.v = 1")})
+	min, dropped := ngd.MinimizeRules(ngd.NewRuleSet(mk("keep", "x.v >= 0"), dead))
+	if len(min.Rules) != 1 || len(dropped) != 1 || dropped[0] != "dead" {
+		t.Fatalf("minimize: kept %d, dropped %v", len(min.Rules), dropped)
+	}
+
+	if m, err := ngd.ParseAnalyzeMode("strict"); err != nil || m != ngd.AnalyzeStrict {
+		t.Fatalf("ParseAnalyzeMode: %v %v", m, err)
+	}
+
+	// located parsing feeds diagnostics
+	rules, lines, err := ngd.ParseRulesLocated(strings.NewReader(quickRules))
+	if err != nil || lines["sum"] == 0 {
+		t.Fatalf("ParseRulesLocated: %v lines=%v", err, lines)
+	}
+	if rep := ngd.AnalyzeRules(rules, ngd.AnalysisOptions{Lines: lines}); rep.Satisfiable != ngd.Yes {
+		t.Fatalf("quickRules analysis: %+v", rep)
+	}
+}
