@@ -15,9 +15,9 @@
 //
 // where experiment is one of: fig4a fig4b fig4c fig4d fig4e fig4f fig4g
 // fig4h fig4i fig4j fig4k fig4l fig4m fig4n exp5 reason stream serve
-// recover plan shards all
+// recover plan shards repair all
 //
-// stream, serve, recover, plan and shards are the serving-layer
+// stream, serve, recover, plan, shards and repair are the serving-layer
 // experiments beyond the paper: stream replays a seeded burst-skewed
 // update stream through a continuous detection session against the
 // recompute-from-scratch baseline; serve measures snapshot-isolated read
@@ -25,7 +25,9 @@
 // maintenance; recover measures durable-store crash recovery (snapshot
 // decode + WAL replay, internal/store) against the cold-boot seeding
 // detection run; shards measures wall-clock scaling of the goroutine
-// shard runtime at p = 1..8 and writes BENCH_shards.json.
+// shard runtime at p = 1..8 and writes BENCH_shards.json; repair
+// measures the fix-enumeration cost of the repair engine as the
+// violation store grows, and how many top-ranked applies empty it.
 package main
 
 import (
@@ -52,6 +54,7 @@ import (
 	"ngd/internal/pattern"
 	"ngd/internal/plan"
 	"ngd/internal/reason"
+	"ngd/internal/repair"
 	"ngd/internal/serve"
 	"ngd/internal/session"
 	"ngd/internal/store"
@@ -99,10 +102,11 @@ func main() {
 		"recover": recoverExp,
 		"plan":    planExp,
 		"shards":  shardsExp,
+		"repair":  repairExp,
 	}
 	if exp == "all" {
 		for _, name := range []string{"fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
-			"fig4g", "fig4h", "fig4i", "fig4j", "fig4k", "fig4l", "fig4m", "fig4n", "exp5", "reason", "analyze", "stream", "serve", "recover", "plan", "shards"} {
+			"fig4g", "fig4h", "fig4i", "fig4j", "fig4k", "fig4l", "fig4m", "fig4n", "exp5", "reason", "analyze", "stream", "serve", "recover", "plan", "shards", "repair"} {
 			experiments[name]()
 			fmt.Println()
 		}
@@ -938,6 +942,91 @@ func planExp() {
 	costT := trapWork(plan.Options{NoSharing: true})
 	fmt.Printf("%-12s %s %s %8.0fx   (1 rule: sparse-anchor selection)\n",
 		"hub-trap", ku(legacyT), ku(costT), legacyT/costT)
+}
+
+// ---- repair: fix-enumeration cost vs |Vio| (beyond the paper) ----
+
+// repairExp measures the repair engine (internal/repair) as the violation
+// store grows. For every stored violation it previews the ranked fixes
+// (solver-backed attribute reassignment + edge deletion, each cleared
+// against the whole store on an overlay) and reports the deterministic
+// enumeration counters — candidates and exact-solver calls — next to the
+// wall-clock preview cost on this host. The apply loop then drains the
+// store through the serving layer, always committing the top-ranked fix,
+// showing cross-violation clearance amortize repairs: applies ≤ |Vio|.
+func repairExp() {
+	p := gen.YAGO2
+	fmt.Printf("# repair %s: preview + drain cost vs |Vio|, ‖Σ‖=%d; counters deterministic, ms wall clock\n",
+		p.Name, *nRules)
+	fmt.Printf("%-8s %15s %7s %7s %7s %7s %8s %11s %9s %8s %9s\n",
+		"n", "|V|/|E|", "|Vio|", "fixable", "attr", "edge", "solver", "preview ms", "ms/vio", "applies", "drain ms")
+	for _, n := range []int{*nEntities / 2, *nEntities, *nEntities * 2} {
+		ds := gen.Generate(p, n, *seed)
+		rules := gen.Rules(p, gen.RuleConfig{Count: *nRules, MaxDiameter: 4, Seed: *seed})
+		st := ds.G.ComputeStats()
+		sess := session.New(ds.G, rules, session.Options{})
+		vios := sess.Violations()
+
+		var fixable, attrC, edgeC, solverCalls int
+		t0 := time.Now()
+		for _, v := range vios {
+			res, err := sess.PreviewRepair(v.Key(), repair.Options{})
+			if err != nil {
+				panic(err)
+			}
+			if !res.Unrepairable {
+				fixable++
+			}
+			attrC += res.Stats.AttrCands
+			edgeC += res.Stats.EdgeCands
+			solverCalls += res.Stats.SolverCalls
+		}
+		previewWall := time.Since(t0)
+
+		// drain: commit the top-ranked fix for the first repairable key until
+		// the store is empty (bounded: a fix may introduce fresh violations)
+		srv := serve.New(sess, serve.Options{})
+		skip := map[string]bool{}
+		applies := 0
+		t0 = time.Now()
+		for applies < 4*len(vios)+4 {
+			key := ""
+			for _, v := range srv.Snapshot().Violations() {
+				if !skip[v.Key()] {
+					key = v.Key()
+					break
+				}
+			}
+			if key == "" {
+				break
+			}
+			if _, err := srv.ApplyRepair(key, "", repair.Options{}); err != nil {
+				skip[key] = true // unrepairable: leave it and move on
+				continue
+			}
+			applies++
+		}
+		drainWall := time.Since(t0)
+		left := srv.Snapshot().Len()
+		srv.Close()
+
+		perVio := 0.0
+		if len(vios) > 0 {
+			perVio = float64(previewWall.Microseconds()) / 1000 / float64(len(vios))
+		}
+		appliesStr := fmt.Sprint(applies)
+		if left > 0 {
+			appliesStr += fmt.Sprintf("(+%d)", left) // unrepairable residue
+		}
+		fmt.Printf("%-8d %15s %7d %7d %7d %7d %8d %11.1f %9.2f %8s %9.1f\n",
+			n, fmt.Sprintf("%d/%d", st.Nodes, st.Edges), len(vios), fixable,
+			attrC, edgeC, solverCalls,
+			float64(previewWall.Microseconds())/1000, perVio, appliesStr,
+			float64(drainWall.Microseconds())/1000)
+	}
+	fmt.Printf("# preview cost is dominated by per-candidate clearance (O(|Vio|) overlay\n")
+	fmt.Printf("# re-checks), so ms/vio grows with the store; applies < |Vio| whenever one\n")
+	fmt.Printf("# fix clears several violations at once (shared node, shared edge)\n")
 }
 
 // ---- reasoning demo (§4 worked examples) ----

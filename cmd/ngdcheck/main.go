@@ -14,6 +14,11 @@
 // triage, unsat-core extraction, minimization report); -graph becomes
 // optional — without it the command is a pure static check.
 //
+// With -repair (batch mode only) it additionally prints, per violation,
+// the top ranked candidate fixes the repair engine previews: minimal
+// attribute reassignments and match-breaking edge deletions, with their
+// cross-violation clearance. The graph is never mutated.
+//
 // Exit codes:
 //
 //	0  success: analysis found Σ satisfiable / detection completed
@@ -42,6 +47,8 @@ var (
 	quiet      = flag.Bool("q", false, "print only counts")
 	doAnalyze  = flag.Bool("analyze", false, "run the Σ admission analysis (satisfiability, unsat core, minimization); exit 3 = unsatisfiable, 4 = undecided")
 	anTimeout  = flag.Duration("analyze-timeout", 30*time.Second, "wall-clock budget for -analyze")
+	doRepair   = flag.Bool("repair", false, "after batch detection, print ranked candidate fixes per violation (offline repair preview; incompatible with -update)")
+	repairMax  = flag.Int("repair-fixes", 3, "ranked fixes to print per violation with -repair")
 )
 
 func main() {
@@ -83,8 +90,16 @@ func main() {
 		g.NumNodes(), g.NumEdges(), rules.Len(), rules.Diameter())
 
 	if *updatePath == "" {
-		runBatch(g, rules)
+		if *doRepair {
+			runRepair(g, rules)
+		} else {
+			runBatch(g, rules)
+		}
 		return
+	}
+	if *doRepair {
+		log.Print("-repair previews fixes for the stored violations of a graph; run it without -update")
+		os.Exit(2)
 	}
 	uf, err := os.Open(*updatePath)
 	if err != nil {
@@ -156,6 +171,62 @@ func runIncremental(g *ngd.Graph, rules *ngd.RuleSet, delta *ngd.Delta) {
 	printVios(dv.Plus)
 	fmt.Printf("ΔVio⁻: %d removed violations\n", len(dv.Minus))
 	printVios(dv.Minus)
+}
+
+// runRepair seeds a session (the live store repair ranks against) and
+// prints the ranked candidate fixes for every stored violation: solver-
+// backed minimal attribute reassignments and match-breaking edge deletions,
+// each annotated with its previewed cross-violation clearance. Pure
+// preview — the graph is never mutated.
+func runRepair(g *ngd.Graph, rules *ngd.RuleSet) {
+	sess := ngd.NewSession(g, rules, ngd.SessionOptions{})
+	defer sess.Close()
+	vios := sess.Violations()
+	fmt.Printf("violations: %d\n", len(vios))
+	repairable := 0
+	for _, v := range vios {
+		res, err := sess.PreviewRepair(v.Key(), ngd.RepairOptions{MaxFixes: *repairMax})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Unrepairable {
+			repairable++
+		}
+		if *quiet {
+			continue
+		}
+		fmt.Printf("  %s\n", v)
+		if res.Unrepairable {
+			fmt.Printf("    unrepairable: %s\n", res.Reason)
+			continue
+		}
+		for i, f := range res.Fixes {
+			fmt.Printf("    %d. %s\n", i+1, describeFix(f))
+		}
+	}
+	fmt.Printf("repairable: %d/%d\n", repairable, len(vios))
+}
+
+// describeFix renders one fix for the terminal.
+func describeFix(f ngd.RepairFix) string {
+	var what string
+	switch f.Kind {
+	case "attr":
+		what = fmt.Sprintf("node %d:", f.Node)
+		for _, set := range f.Sets {
+			if set.Old != nil {
+				what += fmt.Sprintf(" set %s %d→%d", set.Attr, *set.Old, set.New)
+			} else {
+				what += fmt.Sprintf(" set %s=%d (new)", set.Attr, set.New)
+			}
+		}
+		what += fmt.Sprintf(" (perturb %d,", f.Perturb)
+	case "edge-delete":
+		what = fmt.Sprintf("delete edge %d -%s-> %d (", f.Src, f.Label, f.Dst)
+	default:
+		what = f.ID + " ("
+	}
+	return fmt.Sprintf("%s clears %d, introduces %d)", what, len(f.Clears), len(f.Introduces))
 }
 
 func printVios(vios []ngd.Violation) {

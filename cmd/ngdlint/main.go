@@ -1,8 +1,9 @@
 // Command ngdlint enforces the repo's determinism contract on the §4/§5
 // decision-procedure packages.
 //
-// The reasoning oracle (internal/reason), the exact integer solver
-// (internal/solver) and the virtual parallel driver (internal/par's
+// The reasoning oracle (internal/reason), the repair engine
+// (internal/repair), the exact integer solver (internal/solver) and the
+// virtual parallel driver (internal/par's
 // discrete-event path) must be pure functions of their inputs: replaying a
 // WAL, re-running an admission analysis, or re-simulating a makespan must
 // produce byte-identical results. Reading a clock or a random source breaks
@@ -37,6 +38,7 @@ import (
 // allowlisted file names.
 var guarded = map[string]map[string]bool{
 	"internal/reason": {},
+	"internal/repair": {},
 	"internal/solver": {},
 	"internal/par":    {"pool.go": true, "real.go": true},
 }

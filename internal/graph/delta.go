@@ -26,6 +26,53 @@ type Delta struct {
 	Ops []EdgeOp
 }
 
+// AttrOp is a unit attribute update: set attribute Attr of Node to Val.
+// The paper's unit updates are edge-only (§5.2); attribute ops extend the
+// batch pipeline for the repair path, where a fix reassigns attributes of a
+// violating node. They commit through session.(*Session).CommitBatch so the
+// WAL, change feed and attribute indexes all observe an ordinary batch.
+type AttrOp struct {
+	Node NodeID
+	Attr AttrID
+	Val  Value
+}
+
+func (op AttrOp) String() string {
+	return fmt.Sprintf("set(%d.%d = %s)", op.Node, op.Attr, op.Val)
+}
+
+// NormalizeAttrOps coalesces attribute ops against base: the last op per
+// (node, attr) wins, and ops restating the current value are elided — the
+// effect-only shape the session's attr reconciliation expects. Order of
+// first effective appearance is preserved.
+func NormalizeAttrOps(base *Graph, ops []AttrOp) []AttrOp {
+	if len(ops) == 0 {
+		return nil
+	}
+	type key struct {
+		node NodeID
+		attr AttrID
+	}
+	last := make(map[key]Value, len(ops))
+	order := make([]key, 0, len(ops))
+	for _, op := range ops {
+		k := key{op.Node, op.Attr}
+		if _, seen := last[k]; !seen {
+			order = append(order, k)
+		}
+		last[k] = op.Val
+	}
+	var out []AttrOp
+	for _, k := range order {
+		v := last[k]
+		if base.Attr(k.node, k.attr).Equal(v) {
+			continue
+		}
+		out = append(out, AttrOp{Node: k.node, Attr: k.attr, Val: v})
+	}
+	return out
+}
+
 // Insert records insert(u -label-> v).
 func (d *Delta) Insert(u, v NodeID, label LabelID) {
 	d.Ops = append(d.Ops, EdgeOp{Insert: true, Src: u, Dst: v, Label: label})

@@ -257,12 +257,24 @@ func (g *Graph) AttrIndexFor(l LabelID, a AttrID) *AttrIndex {
 	return g.attrIdx[attrIndexKey{l, a}]
 }
 
-// EnsureAttrIndex delegates to the base graph: ΔG never changes attributes.
+// EnsureAttrIndex delegates to the base graph for (label, attr) pairs the
+// overlay has not dirtied with SetAttr. Dirtied pairs return nil: the base
+// index still reflects the old attribute values, so serving it would hand
+// the matcher stale candidate runs — a nil index makes seeding fall back to
+// the label-bucket scan, whose per-candidate filters read attributes through
+// the overlay and therefore see the overrides.
 func (o *Overlay) EnsureAttrIndex(l LabelID, a AttrID) *AttrIndex {
+	if o.dirtyIdx[attrIndexKey{l, a}] {
+		return nil
+	}
 	return o.base.EnsureAttrIndex(l, a)
 }
 
-// AttrIndexFor delegates to the base graph.
+// AttrIndexFor delegates to the base graph, masking overlay-dirtied pairs
+// (see EnsureAttrIndex).
 func (o *Overlay) AttrIndexFor(l LabelID, a AttrID) *AttrIndex {
+	if o.dirtyIdx[attrIndexKey{l, a}] {
+		return nil
+	}
 	return o.base.AttrIndexFor(l, a)
 }

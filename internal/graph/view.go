@@ -25,12 +25,16 @@ var (
 
 // Overlay presents G ⊕ ΔG without mutating G. Only nodes touched by ΔG pay
 // any overhead: their merged adjacency lists are precomputed at construction;
-// untouched nodes delegate to the base graph.
+// untouched nodes delegate to the base graph. On top of the edge delta an
+// Overlay can carry attribute overrides (SetAttr), which the repair engine
+// uses to preview candidate fixes without committing them.
 type Overlay struct {
 	base      *Graph
 	out       map[NodeID][]Half
 	in        map[NodeID][]Half
 	edgeDelta int
+	attrs     map[NodeID]map[AttrID]Value // overridden attribute values
+	dirtyIdx  map[attrIndexKey]bool       // (label,attr) pairs masked from index seeding
 }
 
 // NewOverlay builds the view of base ⊕ delta. Operations that have no
@@ -91,8 +95,35 @@ func (o *Overlay) NumEdges() int { return o.base.edgeCount + o.edgeDelta }
 // Label returns the label of v.
 func (o *Overlay) Label(v NodeID) LabelID { return o.base.Label(v) }
 
-// Attr returns attribute a of v.
-func (o *Overlay) Attr(v NodeID, a AttrID) Value { return o.base.Attr(v, a) }
+// Attr returns attribute a of v, honouring overlay overrides first.
+func (o *Overlay) Attr(v NodeID, a AttrID) Value {
+	if m, ok := o.attrs[v]; ok {
+		if val, ok := m[a]; ok {
+			return val
+		}
+	}
+	return o.base.Attr(v, a)
+}
+
+// SetAttr overrides attribute a of v in the overlay only; the base graph is
+// untouched. The (label(v), a) pair is marked dirty so attribute-index
+// seeding falls back to label scans — the base graph's indexes still hold
+// v's old value and would otherwise serve stale candidate runs.
+func (o *Overlay) SetAttr(v NodeID, a AttrID, val Value) {
+	if o.attrs == nil {
+		o.attrs = make(map[NodeID]map[AttrID]Value)
+	}
+	m := o.attrs[v]
+	if m == nil {
+		m = make(map[AttrID]Value)
+		o.attrs[v] = m
+	}
+	m[a] = val
+	if o.dirtyIdx == nil {
+		o.dirtyIdx = make(map[attrIndexKey]bool)
+	}
+	o.dirtyIdx[attrIndexKey{o.base.Label(v), a}] = true
+}
 
 // Out returns the overlaid out-adjacency of v.
 func (o *Overlay) Out(v NodeID) []Half {

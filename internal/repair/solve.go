@@ -1,0 +1,467 @@
+package repair
+
+// Attribute-reassignment solving. For one node n of the target match the
+// rule's numeric literals are re-solved with n's attributes freed as integer
+// variables, every other term folded in as a graph constant. A violation is
+// cleared either by making X ∧ Y hold outright (branch A) or by falsifying
+// one antecedent literal that mentions a freed attribute (branches B_i); the
+// feasible assignment of minimal L1 perturbation over all branches wins.
+// The machinery mirrors internal/reason's literal→constraint translation
+// (abs-variant expansion, sign conditions, ground folding) but solves for a
+// witness instead of deciding satisfiability, and minimizes Σ|x_i − o_i| by
+// binary search over an added deviation bound (the solver has no objective
+// row; over integers the search needs ⌈log₂ D₀⌉ extra Solve calls).
+
+import (
+	"math/big"
+
+	"ngd/internal/core"
+	"ngd/internal/expr"
+	"ngd/internal/graph"
+	"ngd/internal/solver"
+)
+
+// maxLeaves bounds abs-variant expansion per branch: each |·| in a literal
+// doubles the case split, and a runaway rule must not stall the preview.
+const maxLeaves = 64
+
+// lit is one literal to assert, possibly negated.
+type lit struct {
+	l   core.Literal
+	neg bool
+}
+
+// attempt is the best feasible reassignment found so far.
+type attempt struct {
+	ok   bool
+	vals []int64 // per freed attr, solved value
+	used []bool  // per freed attr, whether the winning branch constrained it
+	dev  int64   // Σ|vals − old|
+}
+
+// solveNode frees node n's rule-constrained numeric attributes and searches
+// all branches for the minimally-perturbed clearing assignment. A nil sets
+// with non-empty why explains the failure (non-linear rule, infeasible
+// system, exhausted budget); nil with empty why means n simply offers no
+// freeable attribute.
+func (e *enum) solveNode(n graph.NodeID) (sets []AttrSet, perturb int64, why string) {
+	rule := e.target.Rule
+	for _, l := range append(append([]core.Literal{}, rule.X...), rule.Y...) {
+		if !l.IsLinear() {
+			return nil, 0, "rule " + rule.Name + " has a non-linear literal; attribute repair needs linear arithmetic"
+		}
+	}
+
+	sb := newBuilder(e, n)
+	if len(sb.freedOrder) == 0 {
+		return nil, 0, ""
+	}
+
+	// Branch A: make X ∧ Y hold. Branches B_i: falsify one X literal that
+	// mentions a freed attribute (X currently holds, so every B_i demands a
+	// real change; literals not mentioning a freed attribute cannot move).
+	var branches [][]lit
+	all := make([]lit, 0, len(rule.X)+len(rule.Y))
+	for _, l := range rule.X {
+		all = append(all, lit{l, false})
+	}
+	for _, l := range rule.Y {
+		all = append(all, lit{l, false})
+	}
+	branches = append(branches, all)
+	for _, l := range rule.X {
+		if sb.touchesFreed(l) {
+			branches = append(branches, []lit{{l, true}})
+		}
+	}
+
+	var best attempt
+	unknown := false
+	for _, br := range branches {
+		sb.cons = sb.cons[:0]
+		sb.leaves = 0
+		sb.explore(br, 0, func() {
+			vals, used, dev, st := sb.solveLeaf()
+			switch st {
+			case leafFeasible:
+				if !best.ok || dev < best.dev {
+					best = attempt{ok: true, vals: vals, used: used, dev: dev}
+				}
+			case leafUnknown:
+				unknown = true
+			}
+		})
+		if sb.unknown {
+			unknown = true
+		}
+		if e.expired() {
+			unknown = true
+			break
+		}
+	}
+
+	if !best.ok {
+		if unknown {
+			return nil, 0, "solver budget exhausted before a feasible reassignment was found"
+		}
+		return nil, 0, "no feasible attribute reassignment of node clears the violation"
+	}
+	for i, attr := range sb.freedOrder {
+		if sb.oldPresent[i] {
+			if best.vals[i] != sb.oldVals[i] {
+				old := sb.oldVals[i]
+				sets = append(sets, AttrSet{Attr: attr, Old: &old, New: best.vals[i]})
+			}
+		} else if best.used[i] {
+			// absent attribute the branch constrained: the fix creates it
+			sets = append(sets, AttrSet{Attr: attr, New: best.vals[i]})
+		}
+	}
+	if len(sets) == 0 {
+		// the identity assignment cannot clear a real violation; distrust it
+		return nil, 0, "solved assignment is a no-op"
+	}
+	return sets, best.dev, ""
+}
+
+// sysBuilder accumulates the constraint system of one branch leaf. Variables
+// 0..k−1 are the freed attributes of node n (k = len(freedOrder)); the leaf
+// solver appends deviation variables k..2k−1 on top.
+type sysBuilder struct {
+	e    *enum
+	n    graph.NodeID
+	rule *core.NGD
+	m    core.Match
+	b    expr.Binding
+
+	freedOrder []string       // freed attr names, first-appearance order
+	freedIdx   map[string]int // attr name → variable index
+	oldVals    []int64        // committed value per freed attr (0 when absent)
+	oldPresent []bool
+
+	cons    []solver.Constraint
+	leaves  int
+	unknown bool
+}
+
+func newBuilder(e *enum, n graph.NodeID) *sysBuilder {
+	rule, m := e.target.Rule, e.target.Match
+	sb := &sysBuilder{
+		e: e, n: n, rule: rule, m: m,
+		b:        rule.Binding(e.g, m),
+		freedIdx: make(map[string]int),
+	}
+
+	// attrs of n mentioned by string-bearing literals are pinned: their
+	// truth must stay invariant under the fix
+	pinned := make(map[string]bool)
+	lits := append(append([]core.Literal{}, rule.X...), rule.Y...)
+	for _, l := range lits {
+		if l.L.HasString() || l.R.HasString() {
+			sb.eachTermAt(l, func(attr string) { pinned[attr] = true })
+		}
+	}
+	syms := e.g.Symbols()
+	for _, l := range lits {
+		if l.L.HasString() || l.R.HasString() {
+			continue
+		}
+		sb.eachTermAt(l, func(attr string) {
+			if pinned[attr] {
+				return
+			}
+			if _, ok := sb.freedIdx[attr]; ok {
+				return
+			}
+			v := e.g.Attr(n, syms.Attr(attr))
+			var old int64
+			present := v.Valid()
+			if present {
+				iv, ok := v.AsInt()
+				if !ok {
+					return // non-integer committed value: not freeable
+				}
+				old = iv
+			}
+			sb.freedIdx[attr] = len(sb.freedOrder)
+			sb.freedOrder = append(sb.freedOrder, attr)
+			sb.oldVals = append(sb.oldVals, old)
+			sb.oldPresent = append(sb.oldPresent, present)
+		})
+	}
+	return sb
+}
+
+// eachTermAt calls fn for every term x.A of l whose variable binds node n.
+func (sb *sysBuilder) eachTermAt(l core.Literal, fn func(attr string)) {
+	walk := func(variable, attr string) {
+		if idx := sb.rule.Pattern.VarIndex(variable); idx >= 0 && sb.m[idx] == sb.n {
+			fn(attr)
+		}
+	}
+	l.L.Terms(walk)
+	l.R.Terms(walk)
+}
+
+func (sb *sysBuilder) touchesFreed(l core.Literal) bool {
+	found := false
+	sb.eachTermAt(l, func(attr string) {
+		if _, ok := sb.freedIdx[attr]; ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// explore asserts lits[i:] into the system, fanning out over abs-variant
+// case splits, and calls leaf once per fully-asserted consistent leaf.
+func (sb *sysBuilder) explore(lits []lit, i int, leaf func()) {
+	if sb.e.expired() {
+		sb.unknown = true
+		return
+	}
+	if i == len(lits) {
+		if sb.leaves >= maxLeaves {
+			sb.unknown = true
+			return
+		}
+		sb.leaves++
+		leaf()
+		return
+	}
+	li := lits[i]
+	if li.l.L.HasString() || li.l.R.HasString() {
+		// string literals are invariant under the fix (string-bearing attrs
+		// are pinned): their current truth decides the branch
+		sat := li.l.Satisfied(sb.b)
+		if sat == li.neg {
+			return // branch contradicts an immovable literal
+		}
+		sb.explore(lits, i+1, leaf)
+		return
+	}
+	op := li.l.Op
+	if li.neg {
+		op = op.Negate()
+	}
+	diff := expr.Sub(li.l.L.Clone(), li.l.R.Clone())
+	for _, v := range expr.AbsVariants(diff) {
+		mark := len(sb.cons)
+		ok := true
+		for _, c := range v.Conds {
+			if !sb.addLinear(c.Inner, condRel(c.NonNeg), new(big.Rat)) {
+				ok = false
+				break
+			}
+		}
+		if ok && sb.addLinear(v.Expr, cmpToRel(op), new(big.Rat)) {
+			sb.explore(lits, i+1, leaf)
+		}
+		sb.cons = sb.cons[:mark]
+		if sb.e.expired() || sb.unknown && sb.leaves >= maxLeaves {
+			sb.unknown = true
+			return
+		}
+	}
+}
+
+// addLinear linearizes e2 and appends the constraint (e2 rel rhs) over the
+// freed variables, folding every other term in as its committed graph value.
+// false means the constraint is unsatisfiable as grounded (or a ground term
+// failed to resolve to an integer), killing the current case split.
+func (sb *sysBuilder) addLinear(e2 *expr.Expr, rel solver.Rel, rhs *big.Rat) bool {
+	lf, err := expr.Linearize(e2)
+	if err != nil {
+		return false
+	}
+	r := new(big.Rat).Sub(rhs, lf.Const)
+	coefs := make(map[int]*big.Rat)
+	for tk, c := range lf.Coeffs {
+		idx := sb.rule.Pattern.VarIndex(tk.Var)
+		if idx < 0 {
+			return false
+		}
+		if vi, ok := sb.freedIdx[tk.Attr]; ok && sb.m[idx] == sb.n {
+			if prev, dup := coefs[vi]; dup {
+				prev.Add(prev, c)
+			} else {
+				coefs[vi] = new(big.Rat).Set(c)
+			}
+			continue
+		}
+		val, ok := sb.b(tk.Var, tk.Attr)
+		if !ok {
+			return false // term unresolvable and not freed: cannot hold
+		}
+		iv, ok := val.AsInt()
+		if !ok {
+			return false
+		}
+		// ground term moves to the RHS: r −= c·val
+		r.Sub(r, new(big.Rat).Mul(c, big.NewRat(iv, 1)))
+	}
+	if len(coefs) == 0 {
+		return groundHolds(rel, new(big.Rat).Neg(r))
+	}
+	vars := make([]int, 0, len(coefs))
+	for vi := range coefs {
+		vars = append(vars, vi)
+	}
+	sortInts(vars)
+	cs := make([]*big.Rat, len(vars))
+	for i, vi := range vars {
+		cs[i] = coefs[vi]
+	}
+	sb.cons = append(sb.cons, solver.NewConstraint(vars, cs, rel, r))
+	return true
+}
+
+type leafStatus int
+
+const (
+	leafInfeasible leafStatus = iota
+	leafFeasible
+	leafUnknown
+)
+
+// solveLeaf solves the accumulated system for the minimally-perturbed
+// integral witness. Deviation variables d_i ≥ |x_i − o_i| are adjoined and
+// Σd_i is driven down by binary search; a budget blowout mid-search keeps
+// the best witness found (a valid fix, possibly non-minimal).
+func (sb *sysBuilder) solveLeaf() (vals []int64, used []bool, dev int64, st leafStatus) {
+	k := len(sb.freedOrder)
+	used = make([]bool, k)
+	for _, c := range sb.cons {
+		for _, vi := range c.Vars {
+			if vi < k {
+				used[vi] = true
+			}
+		}
+	}
+
+	one := big.NewRat(1, 1)
+	negOne := big.NewRat(-1, 1)
+	base := make([]solver.Constraint, len(sb.cons), len(sb.cons)+3*k+1)
+	copy(base, sb.cons)
+	for i := 0; i < k; i++ {
+		o := big.NewRat(sb.oldVals[i], 1)
+		base = append(base,
+			solver.NewConstraint([]int{i, k + i}, []*big.Rat{one, negOne}, solver.Le, o),
+			solver.NewConstraint([]int{i, k + i}, []*big.Rat{negOne, negOne}, solver.Le, new(big.Rat).Neg(o)),
+			solver.NewConstraint([]int{k + i}, []*big.Rat{one}, solver.Ge, new(big.Rat)),
+		)
+	}
+	sumVars := make([]int, k)
+	sumCoef := make([]*big.Rat, k)
+	for i := 0; i < k; i++ {
+		sumVars[i] = k + i
+		sumCoef[i] = one
+	}
+
+	solve := func(bound int64, bounded bool) (solver.Status, []int64, int64) {
+		cons := base
+		if bounded {
+			cons = append(base[:len(base):len(base)],
+				solver.NewConstraint(sumVars, sumCoef, solver.Le, big.NewRat(bound, 1)))
+		}
+		sys := &solver.System{NumVars: 2 * k, Cons: cons, Integer: true}
+		sb.e.stats.SolverCalls++
+		status, w := sys.Solve(sb.e.opts.Solver)
+		if status != solver.Feasible {
+			return status, nil, 0
+		}
+		xs := make([]int64, k)
+		var d int64
+		for i := 0; i < k; i++ {
+			num := w[i].Num()
+			if !num.IsInt64() {
+				return solver.Unknown, nil, 0 // out-of-range witness: give up
+			}
+			xs[i] = num.Int64()
+			if delta := xs[i] - sb.oldVals[i]; delta >= 0 {
+				d += delta
+			} else {
+				d -= delta
+			}
+		}
+		return solver.Feasible, xs, d
+	}
+
+	status, xs, d0 := solve(0, false)
+	switch status {
+	case solver.Infeasible:
+		return nil, nil, 0, leafInfeasible
+	case solver.Unknown:
+		return nil, nil, 0, leafUnknown
+	}
+	vals, dev = xs, d0
+
+	// minimal Σ|x−o| lies in [0, d0]: shrink by bisection, each feasible
+	// probe tightening hi to the deviation its witness actually achieves
+	lo, hi := int64(0), d0
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		st2, xs2, d2 := solve(mid, true)
+		switch st2 {
+		case solver.Feasible:
+			vals, dev, hi = xs2, d2, d2
+		case solver.Infeasible:
+			lo = mid + 1
+		default:
+			return vals, used, dev, leafFeasible // budget: keep best witness
+		}
+	}
+	return vals, used, dev, leafFeasible
+}
+
+// groundHolds decides a fully-ground constraint: v carries the sign of
+// LHS − RHS after all terms folded away.
+func groundHolds(rel solver.Rel, v *big.Rat) bool {
+	s := v.Sign()
+	switch rel {
+	case solver.Le:
+		return s <= 0
+	case solver.Ge:
+		return s >= 0
+	case solver.Eq:
+		return s == 0
+	case solver.Lt:
+		return s < 0
+	case solver.Gt:
+		return s > 0
+	default: // Ne
+		return s != 0
+	}
+}
+
+func cmpToRel(op expr.Cmp) solver.Rel {
+	switch op {
+	case expr.Eq:
+		return solver.Eq
+	case expr.Ne:
+		return solver.Ne
+	case expr.Lt:
+		return solver.Lt
+	case expr.Le:
+		return solver.Le
+	case expr.Gt:
+		return solver.Gt
+	default:
+		return solver.Ge
+	}
+}
+
+func condRel(nonNeg bool) solver.Rel {
+	if nonNeg {
+		return solver.Ge
+	}
+	return solver.Lt
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

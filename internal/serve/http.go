@@ -13,6 +13,7 @@ import (
 
 	"ngd/internal/core"
 	"ngd/internal/graph"
+	"ngd/internal/repair"
 	"ngd/internal/session"
 )
 
@@ -48,6 +49,11 @@ type updateRequest struct {
 //	GET  /stats                server + last-batch statistics
 //	POST /update               enqueue update ops ({"ops":[...]}; ?sync=1
 //	                           waits for the batch to commit)
+//	POST /repair/preview       enumerate ranked fixes for one violation
+//	                           ({"key":..., "max_fixes"?}; never mutates)
+//	POST /repair/apply         apply a fix ({"key":..., "fix"?: id}; the
+//	                           top-ranked fix when "fix" is omitted),
+//	                           committed through the ordinary ingest path
 //
 // Every read is served from the atomically published snapshot+index pair:
 // a reader holds one consistent epoch for the whole request and is never
@@ -56,7 +62,11 @@ type updateRequest struct {
 // Error contract: malformed numeric query params and unparseable or
 // trailing-garbage bodies get 400; an oversized /update body gets 413; a
 // /feed cursor older than the retained backlog gets 410 with the oldest
-// resumable epoch.
+// resumable epoch. The repair endpoints add: 409 for a violation key the
+// live store no longer holds (a later commit cleared it — re-list and
+// retry), 404 for a fix id the current enumeration lacks, 422 when the
+// violation is unrepairable (the body carries the enumerator's reason),
+// 503 after Close.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -96,8 +106,100 @@ func (s *Server) Handler() http.Handler {
 	})
 
 	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("POST /repair/preview", s.handleRepairPreview)
+	mux.HandleFunc("POST /repair/apply", s.handleRepairApply)
 
 	return mux
+}
+
+// repairRequest is the body of POST /repair/preview and /repair/apply.
+type repairRequest struct {
+	// Key is the canonical key of the stored violation to repair.
+	Key string `json:"key"`
+	// MaxFixes caps the preview's ranked list (default 8).
+	MaxFixes int `json:"max_fixes,omitempty"`
+	// Fix picks a fix id for /repair/apply; empty applies the top-ranked.
+	Fix string `json:"fix,omitempty"`
+}
+
+// decodeRepair parses a bounded, exactly-one-object repair request body.
+func (s *Server) decodeRepair(w http.ResponseWriter, r *http.Request) (repairRequest, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(r.Body)
+	var req repairRequest
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return req, false
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "trailing data after JSON body"})
+		return req, false
+	}
+	if req.Key == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "missing violation key"})
+		return req, false
+	}
+	return req, true
+}
+
+// writeRepairErr maps the repair error contract onto status codes.
+func writeRepairErr(w http.ResponseWriter, err error) {
+	var unrep *UnrepairableError
+	switch {
+	case isStaleViolation(err):
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": err.Error(),
+			"hint":  "the violation was cleared by a later commit; re-list /violations and retry",
+		})
+	case errors.As(err, &unrep):
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error": err.Error(), "reason": unrep.Reason,
+		})
+	case errors.Is(err, ErrUnknownFix):
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+	}
+}
+
+// handleRepairPreview enumerates ranked candidate fixes without mutating
+// anything; the response's epoch is the exact epoch the preview ran at.
+func (s *Server) handleRepairPreview(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRepair(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.PreviewRepair(req.Key, repair.Options{MaxFixes: req.MaxFixes})
+	if err != nil {
+		writeRepairErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch": s.Snapshot().Epoch, "result": res,
+	})
+}
+
+// handleRepairApply applies the chosen (or top-ranked) fix as an ordinary
+// committed batch and reports the landing epoch and the shrunken store.
+func (s *Server) handleRepairApply(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRepair(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.ApplyRepair(req.Key, req.Fix, repair.Options{MaxFixes: req.MaxFixes})
+	if err != nil {
+		writeRepairErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"applied":   true,
+		"epoch":     res.Epoch,
+		"fix":       res.Fix,
+		"cleared":   res.Fix.Clears,
+		"remaining": res.Remaining,
+	})
 }
 
 // handleViolations serves keyset-cursor queries over one epoch's store:

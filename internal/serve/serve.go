@@ -23,6 +23,7 @@ package serve
 
 import (
 	"errors"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -91,8 +92,11 @@ type Options struct {
 
 // UpdateOp is one ingested operation, the wire format of POST /update.
 type UpdateOp struct {
-	// Op is "insert" or "delete" (edge ops), or "node" (a new node
-	// arriving with its attribute tuple, before any of its edges).
+	// Op is "insert" or "delete" (edge ops), "node" (a new node arriving
+	// with its attribute tuple, before any of its edges), or "setattr"
+	// (reassign attributes of an existing node — the repair path's commit
+	// shape, routed through session.CommitBatch so detection, WAL, feed and
+	// indexes all observe it as an ordinary batch).
 	Op string `json:"op"`
 	// Src and Dst reference nodes for edge ops: either an id registered in
 	// Options.Names (or by a previous "node" op), or a decimal NodeID.
@@ -100,10 +104,12 @@ type UpdateOp struct {
 	Dst string `json:"dst,omitempty"`
 	// Label is the edge label (insert/delete) or node label (node).
 	Label string `json:"label"`
-	// ID is the external id a "node" op registers for the new node.
+	// ID is the external id a "node" op registers for the new node, or the
+	// node a "setattr" op targets (registered name or decimal NodeID).
 	ID string `json:"id,omitempty"`
-	// Attrs is the attribute tuple of a "node" op. Numbers, strings and
-	// booleans are supported; integral floats are stored as integers.
+	// Attrs is the attribute tuple of a "node" op, or the reassignments of
+	// a "setattr" op. Numbers, strings and booleans are supported; integral
+	// floats are stored as integers.
 	Attrs map[string]any `json:"attrs,omitempty"`
 }
 
@@ -157,10 +163,13 @@ func (a *Ack) Done() <-chan struct{} { return a.done }
 // Done is closed.
 func (a *Ack) Epoch() int { return a.epoch }
 
-// ingest is one queued update request.
+// ingest is one queued update request, or — when job is set — a closure to
+// run on the writer goroutine between commits (repair previews/applies use
+// this to serialize with mutation; see runOnWriter).
 type ingest struct {
 	ops []UpdateOp
 	ack *Ack
+	job func()
 }
 
 // view pairs the epoch's immutable snapshot with its secondary indexes so
@@ -385,8 +394,43 @@ func (s *Server) writer() {
 				break coalesce
 			}
 		}
-		s.commitBatch(batch)
+		// execute in order, splitting around writer jobs: consecutive op
+		// requests still coalesce into one commit, and a job always sees
+		// every update enqueued before it committed
+		var ops []ingest
+		flush := func() {
+			if len(ops) > 0 {
+				s.commitBatch(ops)
+				ops = nil
+			}
+		}
+		for _, e := range batch {
+			if e.job != nil {
+				flush()
+				e.job()
+			} else {
+				ops = append(ops, e)
+			}
+		}
+		flush()
 	}
+}
+
+// runOnWriter runs job on the writer goroutine, serialized with commits,
+// and returns once it finishes. The job must not call Enqueue, Flush or
+// Close (it would deadlock the writer against itself); committing through
+// s.commitBatch directly is the sanctioned mutation path.
+func (s *Server) runOnWriter(job func()) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	done := make(chan struct{})
+	s.in <- ingest{job: func() { defer close(done); job() }}
+	s.mu.Unlock()
+	<-done
+	return nil
 }
 
 // commitBatch materializes the queued ops into node arrivals plus one ΔG,
@@ -394,11 +438,30 @@ func (s *Server) writer() {
 func (s *Server) commitBatch(batch []ingest) {
 	g := s.sess.Graph()
 	delta := &graph.Delta{}
+	var attrOps []graph.AttrOp
 	for _, ing := range batch {
 		for _, op := range ing.ops {
 			switch op.Op {
 			case "node":
 				s.applyNode(g, op)
+			case "setattr":
+				v, ok := s.resolve(op.ID)
+				if !ok {
+					s.droppedOps.Add(1)
+					continue
+				}
+				names := make([]string, 0, len(op.Attrs))
+				for name := range op.Attrs {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					if val, ok := toValue(op.Attrs[name]); ok {
+						attrOps = append(attrOps, graph.AttrOp{Node: v, Attr: g.Symbols().Attr(name), Val: val})
+					} else {
+						s.droppedOps.Add(1)
+					}
+				}
 			case "insert", "delete":
 				src, okS := s.resolve(op.Src)
 				dst, okD := s.resolve(op.Dst)
@@ -422,7 +485,7 @@ func (s *Server) commitBatch(batch []ingest) {
 		}
 	}
 
-	st := s.sess.Commit(delta)
+	st := s.sess.CommitBatch(delta, attrOps)
 	s.commits.Add(1)
 	s.lastBatch.Store(&st)
 

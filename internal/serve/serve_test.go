@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"ngd/internal/analyze"
 	"ngd/internal/core"
@@ -314,6 +315,16 @@ func TestConcurrentReadersNeverBlockedByCommits(t *testing.T) {
 				reads.Add(1)
 			}
 		}(r%2 == 0)
+	}
+
+	// let the readers complete at least one read before the stream starts:
+	// on a single-core host the writer could otherwise run to completion
+	// before any reader goroutine is ever scheduled
+	for reads.Load() == 0 {
+		if err, ok := readErr.Load().(error); ok && err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
 	}
 
 	for _, d := range deltas {

@@ -87,6 +87,13 @@ type BatchStats struct {
 	Compacted int // adjacency lists compacted by the commit
 	NewNodes  int // nodes absorbed (arrived on G since the previous commit)
 
+	// AttrOps / AttrSets count the batch's attribute ops as submitted and
+	// after coalescing (last op per (node, attr) wins, no-ops elided);
+	// AttrPlus / AttrMinus count the violations the attribute reconciliation
+	// pass added and removed (already folded into Event and StoreSize).
+	AttrOps, AttrSets   int
+	AttrPlus, AttrMinus int
+
 	Plus  int // |ΔVio⁺| reconciled into the store
 	Minus int // |ΔVio⁻| reconciled out of the store
 	// Absorbed counts violations added by the arriving-node searches
@@ -140,12 +147,13 @@ type CommitEvent struct {
 }
 
 // CommitHook observes every commit before it mutates the graph: it receives
-// the owned graph, the normalized ΔG about to be applied, and the half-open
-// range [newFrom, newTo) of nodes that arrived on the graph since the
-// previous commit (their labels and attributes are already set and readable
-// from g). internal/store installs its write-ahead log appender here, so a
-// batch is durable before the in-place Apply makes it visible.
-type CommitHook func(g *graph.Graph, norm *graph.Delta, newFrom, newTo graph.NodeID) error
+// the owned graph, the normalized ΔG about to be applied, the normalized
+// attribute ops riding the batch (nil on the pure edge path), and the
+// half-open range [newFrom, newTo) of nodes that arrived on the graph since
+// the previous commit (their labels and attributes are already set and
+// readable from g). internal/store installs its write-ahead log appender
+// here, so a batch is durable before the in-place Apply makes it visible.
+type CommitHook func(g *graph.Graph, norm *graph.Delta, attrs []graph.AttrOp, newFrom, newTo graph.NodeID) error
 
 // Session is a continuous detection session over an owned graph.
 //
@@ -474,6 +482,19 @@ func (s *Session) PlanStats() plan.Counters { return s.prog.Counters() }
 // routed incremental detector, commits ΔG into G in place, and reconciles
 // the store. A nil or empty delta still absorbs externally arrived nodes.
 func (s *Session) Commit(d *graph.Delta) BatchStats {
+	return s.CommitBatch(d, nil)
+}
+
+// CommitBatch is Commit extended with attribute ops: after the edge delta
+// commits, each op sets one attribute of one node, and the store is
+// reconciled against the attribute changes — matches binding a retyped node
+// are re-evaluated, and newly violating matches that bind it are searched
+// with pre-bound plans. Attribute ops cannot change the graph's topology,
+// so only matches binding a touched node can change status; the pass
+// restores store ≡ Dect(Σ, G') exactly. The repair engine's apply path
+// commits its attribute fixes through here, making them ordinary batches in
+// the eyes of the WAL, the change feed and the indexes.
+func (s *Session) CommitBatch(d *graph.Delta, attrs []graph.AttrOp) BatchStats {
 	s.commits++
 	s.snap = nil // next Snapshot() captures the new epoch
 	st := BatchStats{Batch: s.commits}
@@ -481,26 +502,54 @@ func (s *Session) Commit(d *graph.Delta) BatchStats {
 		d = &graph.Delta{}
 	}
 	st.RawOps = d.Len()
+	st.AttrOps = len(attrs)
 
 	// coalesce once: dedupe, annihilate, drop ineffective ops
 	norm := d.Normalize(s.g)
 	st.Ops = norm.Len()
+	attrs = graph.NormalizeAttrOps(s.g, attrs)
+	st.AttrSets = len(attrs)
 
 	// write-ahead: log the normalized batch (plus the arriving-node range)
 	// before detection and before the in-place Apply, so a crash at any
 	// later point replays to exactly this commit's outcome
 	if s.hook != nil {
-		st.LogErr = s.hook(s.g, norm, graph.NodeID(s.seenNodes), graph.NodeID(s.g.NumNodes()))
+		st.LogErr = s.hook(s.g, norm, attrs, graph.NodeID(s.seenNodes), graph.NodeID(s.g.NumNodes()))
 	}
 
 	planBefore := s.prog.Counters()
-	ev := &CommitEvent{Epoch: s.commits}
+
+	// Event bookkeeping tracks the *net* store change of the whole commit:
+	// a violation the edge phase adds and the attribute phase then clears
+	// (or vice versa) must not appear in either event slice, or the event
+	// would stop being an exact differential of the epoch's store.
+	addedM := make(map[string]core.Violation)
+	removedM := make(map[string]core.Violation)
+	add := func(v core.Violation) {
+		k := v.Key()
+		if _, ok := removedM[k]; ok {
+			delete(removedM, k)
+		} else {
+			addedM[k] = v
+		}
+	}
+	rem := func(v core.Violation) {
+		k := v.Key()
+		if _, ok := addedM[k]; ok {
+			delete(addedM, k)
+		} else {
+			removedM[k] = v
+		}
+	}
 
 	// absorb nodes that arrived since the last commit (isolated pattern
 	// slots gain matches the edge-driven pivots cannot see)
 	st.NewNodes = s.g.NumNodes() - s.seenNodes
-	ev.Added = s.absorbNewNodes()
-	st.Absorbed = len(ev.Added)
+	absorbed := s.absorbNewNodes()
+	st.Absorbed = len(absorbed)
+	for _, v := range absorbed {
+		add(v)
+	}
 
 	// incremental answer on the pre-commit graph
 	if norm.Len() > 0 {
@@ -523,28 +572,25 @@ func (s *Session) Commit(d *graph.Delta) BatchStats {
 			st.Cost = float64(r.Counters.Candidates + r.Counters.Checks)
 			st.Pivots = r.Pivots
 		}
-		// reconcile, recording the *effective* store changes: the event
-		// must be an exact differential, so a ΔVio⁻ key the store never
-		// held (or a ΔVio⁺ key it already holds) is not echoed into it
+		// reconcile, recording the *effective* store changes: a ΔVio⁻ key
+		// the store never held (or a ΔVio⁺ key it already holds) is not
+		// echoed into the event
 		for _, v := range minus {
 			k := v.Key()
 			if _, ok := s.store[k]; ok {
 				delete(s.store, k)
-				ev.Removed = append(ev.Removed, v)
+				rem(v)
 			}
 		}
 		for _, v := range plus {
 			k := v.Key()
 			if _, ok := s.store[k]; !ok {
 				s.store[k] = v
-				ev.Added = append(ev.Added, v)
+				add(v)
 			}
 		}
 		st.Plus, st.Minus = len(plus), len(minus)
 	}
-	sortByKey(ev.Added)
-	sortByKey(ev.Removed)
-	st.Event = ev
 
 	planNow := s.prog.Counters().Sub(planBefore)
 	st.PlanHits, st.PlanMisses = planNow.Hits, planNow.Misses
@@ -554,6 +600,24 @@ func (s *Session) Commit(d *graph.Delta) BatchStats {
 	ap := s.g.Apply(norm)
 	st.Inserted, st.Deleted, st.Compacted = ap.Inserted, ap.Deleted, ap.Compacted
 
+	// commit the attribute ops and reconcile the store against them (on the
+	// post-Apply graph, so the pass sees the batch's final attribute *and*
+	// edge state)
+	if len(attrs) > 0 {
+		st.AttrPlus, st.AttrMinus = s.applyAttrOps(attrs, add, rem)
+	}
+
+	ev := &CommitEvent{Epoch: s.commits}
+	for _, v := range addedM {
+		ev.Added = append(ev.Added, v)
+	}
+	for _, v := range removedM {
+		ev.Removed = append(ev.Removed, v)
+	}
+	sortByKey(ev.Added)
+	sortByKey(ev.Removed)
+	st.Event = ev
+
 	// churn-driven local refinement keeps the maintained partition's cut
 	// quality from decaying as the graph evolves; cost ∝ |ΔG| degrees,
 	// never a rebuild
@@ -562,6 +626,77 @@ func (s *Session) Commit(d *graph.Delta) BatchStats {
 	}
 	st.StoreSize = len(s.store)
 	return st
+}
+
+// applyAttrOps commits normalized attribute ops into G and reconciles the
+// store. Topology is untouched, so the only matches whose violation status
+// can flip are those binding a touched node: stored violations binding one
+// are re-evaluated (drop the ones no longer violated), and new violations
+// are found by pre-bound searches seeded at each touched node for every
+// slot it can occupy. The store's Has-guard dedupes a match reachable from
+// several touched nodes or slots.
+func (s *Session) applyAttrOps(attrs []graph.AttrOp, add, rem func(core.Violation)) (plus, minus int) {
+	touched := make(map[graph.NodeID]bool)
+	for _, op := range attrs {
+		s.g.SetAttrA(op.Node, op.Attr, op.Val)
+		touched[op.Node] = true
+	}
+
+	// drop stored violations a touched node no longer sustains
+	for k, v := range s.store {
+		binds := false
+		for _, n := range v.Match {
+			if touched[n] {
+				binds = true
+				break
+			}
+		}
+		if !binds || v.Rule.Violated(s.g, v.Match) {
+			continue
+		}
+		delete(s.store, k)
+		rem(v)
+		minus++
+	}
+
+	// find matches a touched node now violates: one pre-bound search per
+	// (rule, slot, touched node) with a label-compatible binding
+	for _, r := range s.rules.Rules {
+		if len(r.Y) == 0 {
+			continue // X → ∅ can never be violated
+		}
+		c := s.prog.CompiledFor(r)
+		nPat := len(r.Pattern.Nodes)
+		for slot := 0; slot < nPat; slot++ {
+			var searcher *detect.Searcher
+			for n := range touched {
+				if !c.CP.NodeMatches(slot, s.g.Label(n)) {
+					continue
+				}
+				partial := match.NewPartial(nPat)
+				partial[slot] = n
+				// a self-loop pattern edge at the bound slot is fully bound
+				// before the search starts; VerifyBound checks it
+				if !match.VerifyBound(s.g, c.CP, partial) {
+					continue
+				}
+				if searcher == nil {
+					_, pl := s.prog.PlanFor(s.g, r, []int{slot}, s.opts.NoPruning)
+					searcher = detect.NewSearcher(s.g, c, pl)
+				}
+				searcher.Run(partial, func(m core.Match) bool {
+					vio := core.Violation{Rule: r, Match: m}
+					if k := vio.Key(); !s.Has(k) {
+						s.store[k] = vio
+						add(vio)
+						plus++
+					}
+					return true
+				})
+			}
+		}
+	}
+	return plus, minus
 }
 
 // absorbNewNodes finds the violating matches that bind a node added since

@@ -358,7 +358,13 @@ func (st *Store) replayRecord(sess *session.Session, names map[string]graph.Node
 			d.Delete(op.Src, op.Dst, l)
 		}
 	}
-	bs := sess.Commit(d)
+	var attrs []graph.AttrOp
+	for _, a := range r.AttrOps {
+		attrs = append(attrs, graph.AttrOp{
+			Node: a.Node, Attr: g.Symbols().Attr(a.Name), Val: a.Val,
+		})
+	}
+	bs := sess.CommitBatch(d, attrs)
 	if bs.LogErr != nil {
 		return bs.LogErr // cannot happen: the hook is installed after replay
 	}
@@ -416,11 +422,11 @@ func (st *Store) NoteName(id string, v graph.NodeID) {
 	st.pendingExt[v] = id
 }
 
-// logBatch is the session commit hook: it renders the arriving nodes and
-// the normalized ΔG into one WAL record and appends it (write-ahead: the
-// session has not yet mutated the graph). Batches with no effect are not
-// logged. Runs on the writer goroutine.
-func (st *Store) logBatch(g *graph.Graph, norm *graph.Delta, lo, hi graph.NodeID) error {
+// logBatch is the session commit hook: it renders the arriving nodes, the
+// normalized ΔG and the batch's attribute ops into one WAL record and
+// appends it (write-ahead: the session has not yet mutated the graph).
+// Batches with no effect are not logged. Runs on the writer goroutine.
+func (st *Store) logBatch(g *graph.Graph, norm *graph.Delta, attrs []graph.AttrOp, lo, hi graph.NodeID) error {
 	rec := &walRecord{}
 	for v := lo; v < hi; v++ {
 		nr := nodeRec{Node: v, ExtID: st.pendingExt[v], Label: g.LabelName(v)}
@@ -434,6 +440,11 @@ func (st *Store) logBatch(g *graph.Graph, norm *graph.Delta, lo, hi graph.NodeID
 		rec.Ops = append(rec.Ops, opRec{
 			Insert: op.Insert, Src: op.Src, Dst: op.Dst,
 			Label: g.Symbols().LabelName(op.Label),
+		})
+	}
+	for _, op := range attrs {
+		rec.AttrOps = append(rec.AttrOps, attrRec{
+			Node: op.Node, Name: g.Symbols().AttrName(op.Attr), Val: op.Val,
 		})
 	}
 	if rec.empty() {

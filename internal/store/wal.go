@@ -61,15 +61,33 @@ type opRec struct {
 	Label    string
 }
 
-// walRecord is one logged batch: the node arrivals since the previous
-// batch plus the normalized ΔG.
-type walRecord struct {
-	Seq   uint64
-	Nodes []nodeRec
-	Ops   []opRec
+// attrRec is one normalized attribute op as logged (attribute names travel
+// as strings for the same reason node labels do).
+type attrRec struct {
+	Node graph.NodeID
+	Name string
+	Val  graph.Value
 }
 
-func (r *walRecord) empty() bool { return len(r.Nodes) == 0 && len(r.Ops) == 0 }
+// walRecord is one logged batch: the node arrivals since the previous
+// batch, the normalized ΔG, and the batch's normalized attribute ops.
+//
+// The attribute section trails the edge ops and is length-prefixed like the
+// others; records written before the section existed simply end after the
+// ops, which the decoder observes as a clean io.EOF at the section's count
+// read and treats as "no attribute ops". New records always write the
+// section (zero-count when empty), so the format needs no version bump and
+// old segments keep replaying.
+type walRecord struct {
+	Seq     uint64
+	Nodes   []nodeRec
+	Ops     []opRec
+	AttrOps []attrRec
+}
+
+func (r *walRecord) empty() bool {
+	return len(r.Nodes) == 0 && len(r.Ops) == 0 && len(r.AttrOps) == 0
+}
 
 // encodePayload renders the record payload (everything inside the frame).
 func (r *walRecord) encodePayload(buf *bytes.Buffer) {
@@ -96,6 +114,12 @@ func (r *walRecord) encodePayload(buf *bytes.Buffer) {
 		c.uvarint(uint64(op.Src))
 		c.uvarint(uint64(op.Dst))
 		c.str(op.Label)
+	}
+	c.uvarint(uint64(len(r.AttrOps)))
+	for _, a := range r.AttrOps {
+		c.uvarint(uint64(a.Node))
+		c.str(a.Name)
+		c.value(a.Val)
 	}
 	_ = c.flush() // bytes.Buffer writes cannot fail
 }
@@ -165,6 +189,29 @@ func decodePayload(p []byte) (*walRecord, error) {
 			return nil, err
 		}
 		r.Ops = append(r.Ops, op)
+	}
+	// trailing attribute section: a clean EOF here is a record written
+	// before the section existed (see the walRecord comment)
+	nAttrs, err := c.uvarint()
+	if err == io.EOF {
+		return r, nil
+	} else if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nAttrs; i++ {
+		var a attrRec
+		id, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		a.Node = graph.NodeID(id)
+		if a.Name, err = c.str(); err != nil {
+			return nil, err
+		}
+		if a.Val, err = c.value(); err != nil {
+			return nil, err
+		}
+		r.AttrOps = append(r.AttrOps, a)
 	}
 	return r, nil
 }

@@ -51,6 +51,7 @@ import (
 	"ngd/internal/pattern"
 	"ngd/internal/plan"
 	"ngd/internal/reason"
+	"ngd/internal/repair"
 	"ngd/internal/serve"
 	"ngd/internal/session"
 	"ngd/internal/store"
@@ -138,6 +139,20 @@ type (
 	// events arrive on C in epoch order; when C closes, Err says whether
 	// the subscriber was evicted for falling behind.
 	FeedSub = serve.FeedSub
+	// RepairResult is the ranked candidate-fix list the repair engine
+	// produces for one stored violation (internal/repair): solver-backed
+	// minimal attribute reassignments and match-breaking edge deletions,
+	// each previewed on an overlay for cross-violation clearance.
+	RepairResult = repair.Result
+	// RepairFix is one candidate fix with its previewed consequences
+	// (cleared and introduced violation keys, perturbation, rank score).
+	RepairFix = repair.Fix
+	// RepairOptions configure fix enumeration (ranked-list cap, solver
+	// budget and deadline).
+	RepairOptions = repair.Options
+	// RepairApplied reports an applied fix: the commit epoch it landed in
+	// and the store size after (Server.ApplyRepair, POST /repair/apply).
+	RepairApplied = serve.ApplyResult
 	// Partition assigns graph nodes to fragments for the parallel engine;
 	// a maintained Partition is kept current across session commits with
 	// incremental Extend/Refine passes instead of per-batch rebuilds.

@@ -403,3 +403,45 @@ func TestPublicAPIAnalysis(t *testing.T) {
 		t.Fatalf("quickRules analysis: %+v", rep)
 	}
 }
+
+func TestPublicAPIRepair(t *testing.T) {
+	g := ngd.NewGraph()
+	buildArea(g, 600, 722, 1322) // consistent
+	buildArea(g, 600, 722, 1572) // violating: 600 + 722 ≠ 1572
+	rules, err := ngd.ParseRules(strings.NewReader(quickRules))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := ngd.NewSession(g, rules, ngd.SessionOptions{})
+	srv := ngd.Serve(sess, ngd.ServeOptions{})
+	defer srv.Close()
+
+	key := srv.Snapshot().Violations()[0].Key()
+
+	// preview: ranked fixes without mutating anything
+	var res *ngd.RepairResult
+	res, err = srv.PreviewRepair(key, ngd.RepairOptions{MaxFixes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fixes) == 0 {
+		t.Fatalf("no fixes: %+v", res)
+	}
+	if srv.Snapshot().Epoch != 0 || srv.Snapshot().Len() != 1 {
+		t.Fatal("preview mutated the server")
+	}
+
+	// apply the top-ranked fix: an ordinary commit clears the store
+	var applied *ngd.RepairApplied
+	applied, err = srv.ApplyRepair(key, "", ngd.RepairOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied.Remaining != 0 || srv.Snapshot().Len() != 0 {
+		t.Fatalf("store after repair: %d (%+v)", srv.Snapshot().Len(), applied)
+	}
+	if got := ngd.Detect(sess.Graph(), rules); len(got.Violations) != 0 {
+		t.Fatalf("graph still violates after repair: %d", len(got.Violations))
+	}
+}
