@@ -63,6 +63,7 @@ func mkBench(p gen.Profile, deltaFrac float64, seed int64) benchWorkload {
 func benchVaryDelta(b *testing.B, p gen.Profile, frac float64) {
 	w := mkBench(p, frac, 1)
 	b.Run("Dect", func(b *testing.B) {
+		b.ReportAllocs()
 		var work float64
 		for i := 0; i < b.N; i++ {
 			r := detect.Dect(w.after, w.rules, detect.Options{})
@@ -71,6 +72,7 @@ func benchVaryDelta(b *testing.B, p gen.Profile, frac float64) {
 		b.ReportMetric(work, "cost_units")
 	})
 	b.Run("IncDect", func(b *testing.B) {
+		b.ReportAllocs()
 		var work float64
 		for i := 0; i < b.N; i++ {
 			r := inc.IncDect(w.ds.G, w.rules, w.delta, inc.Options{})
@@ -79,6 +81,7 @@ func benchVaryDelta(b *testing.B, p gen.Profile, frac float64) {
 		b.ReportMetric(work, "cost_units")
 	})
 	b.Run("PDect", func(b *testing.B) {
+		b.ReportAllocs()
 		var span float64
 		for i := 0; i < b.N; i++ {
 			span = par.PDect(w.after, w.rules, sim(par.Hybrid(8))).Metrics.Makespan
@@ -86,6 +89,7 @@ func benchVaryDelta(b *testing.B, p gen.Profile, frac float64) {
 		b.ReportMetric(span, "makespan_units")
 	})
 	b.Run("PIncDect", func(b *testing.B) {
+		b.ReportAllocs()
 		var span float64
 		for i := 0; i < b.N; i++ {
 			span = par.PIncDect(w.ds.G, w.rules, w.delta, sim(par.Hybrid(8))).Metrics.Makespan
@@ -95,32 +99,40 @@ func benchVaryDelta(b *testing.B, p gen.Profile, frac float64) {
 }
 
 func BenchmarkFig4aVaryDeltaDBpedia(b *testing.B) {
+	b.ReportAllocs()
 	for _, pct := range []int{5, 15, 25, 35} {
 		b.Run(fmt.Sprintf("delta%d", pct), func(b *testing.B) {
+			b.ReportAllocs()
 			benchVaryDelta(b, gen.DBpedia, float64(pct)/100)
 		})
 	}
 }
 
 func BenchmarkFig4bVaryDeltaYago(b *testing.B) {
+	b.ReportAllocs()
 	for _, pct := range []int{5, 15, 25, 35} {
 		b.Run(fmt.Sprintf("delta%d", pct), func(b *testing.B) {
+			b.ReportAllocs()
 			benchVaryDelta(b, gen.YAGO2, float64(pct)/100)
 		})
 	}
 }
 
 func BenchmarkFig4cVaryDeltaPokec(b *testing.B) {
+	b.ReportAllocs()
 	for _, pct := range []int{5, 15, 25, 40} {
 		b.Run(fmt.Sprintf("delta%d", pct), func(b *testing.B) {
+			b.ReportAllocs()
 			benchVaryDelta(b, gen.Pokec, float64(pct)/100)
 		})
 	}
 }
 
 func BenchmarkFig4dVaryDeltaSynthetic(b *testing.B) {
+	b.ReportAllocs()
 	for _, pct := range []int{5, 15, 25, 35} {
 		b.Run(fmt.Sprintf("delta%d", pct), func(b *testing.B) {
+			b.ReportAllocs()
 			benchVaryDelta(b, gen.Synthetic, float64(pct)/100)
 		})
 	}
@@ -129,17 +141,20 @@ func BenchmarkFig4dVaryDeltaSynthetic(b *testing.B) {
 // BenchmarkFig4eVaryG: Exp-2 (vary |G|) — incremental vs batch at three
 // synthetic graph sizes, ΔG = 15%.
 func BenchmarkFig4eVaryG(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{400, 800, 1600} {
 		ds := gen.Generate(gen.Synthetic, n, 1)
 		rules := gen.Rules(gen.Synthetic, gen.RuleConfig{Count: benchRules, MaxDiameter: 5, Seed: 1})
 		d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.15), Gamma: 1, Seed: 31})
 		after := graph.NewOverlay(ds.G, d.Normalize(ds.G))
 		b.Run(fmt.Sprintf("n%d/Dect", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				detect.Dect(after, rules, detect.Options{})
 			}
 		})
 		b.Run(fmt.Sprintf("n%d/IncDect", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				inc.IncDect(ds.G, rules, d, inc.Options{})
 			}
@@ -154,6 +169,7 @@ func benchVarySigma(b *testing.B, p gen.Profile) {
 	for _, k := range []int{10, 25, 50} {
 		rules := gen.Rules(p, gen.RuleConfig{Count: k, MaxDiameter: 5, Seed: 1})
 		b.Run(fmt.Sprintf("sigma%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				inc.IncDect(ds.G, rules, d, inc.Options{})
 			}
@@ -166,11 +182,13 @@ func BenchmarkFig4gVarySigmaYago(b *testing.B)    { benchVarySigma(b, gen.YAGO2)
 
 // BenchmarkFig4hVaryDiameter: Exp-3, vary dΣ on the DBpedia profile.
 func BenchmarkFig4hVaryDiameter(b *testing.B) {
+	b.ReportAllocs()
 	ds := gen.Generate(gen.DBpedia, benchEntities, 1)
 	d := update.Random(ds, update.Config{Size: update.SizeFor(ds.G, 0.15), Gamma: 1, Seed: 31})
 	for _, diam := range []int{2, 4, 6} {
 		rules := gen.Rules(gen.DBpedia, gen.RuleConfig{Count: benchRules, MaxDiameter: diam, Seed: 1})
 		b.Run(fmt.Sprintf("d%d", diam), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				inc.IncDect(ds.G, rules, d, inc.Options{})
 			}
@@ -184,6 +202,7 @@ func benchVaryP(b *testing.B, p gen.Profile) {
 	w := mkBench(p, 0.15, 1)
 	for _, workers := range []int{4, 12, 20} {
 		b.Run(fmt.Sprintf("p%d/hybrid", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			var span float64
 			for i := 0; i < b.N; i++ {
 				span = par.PIncDect(w.ds.G, w.rules, w.delta, sim(par.Hybrid(workers))).Metrics.Makespan
@@ -191,6 +210,7 @@ func benchVaryP(b *testing.B, p gen.Profile) {
 			b.ReportMetric(span, "makespan_units")
 		})
 		b.Run(fmt.Sprintf("p%d/NO", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			var span float64
 			for i := 0; i < b.N; i++ {
 				span = par.PIncDect(w.ds.G, w.rules, w.delta, sim(par.VariantNO(workers))).Metrics.Makespan
@@ -207,11 +227,13 @@ func BenchmarkFig4lVaryPSynthetic(b *testing.B) { benchVaryP(b, gen.Synthetic) }
 
 // BenchmarkFig4mVaryC: Exp-4, the latency-parameter sweep on Pokec.
 func BenchmarkFig4mVaryC(b *testing.B) {
+	b.ReportAllocs()
 	w := mkBench(gen.Pokec, 0.15, 1)
 	for _, c := range []int{20, 60, 100} {
 		opts := sim(par.Hybrid(8))
 		opts.C = c
 		b.Run(fmt.Sprintf("C%d", c), func(b *testing.B) {
+			b.ReportAllocs()
 			var span float64
 			for i := 0; i < b.N; i++ {
 				span = par.PIncDect(w.ds.G, w.rules, w.delta, opts).Metrics.Makespan
@@ -223,11 +245,13 @@ func BenchmarkFig4mVaryC(b *testing.B) {
 
 // BenchmarkFig4nVaryIntvl: Exp-4, the balancing-interval sweep on YAGO2.
 func BenchmarkFig4nVaryIntvl(b *testing.B) {
+	b.ReportAllocs()
 	w := mkBench(gen.YAGO2, 0.15, 1)
 	for _, iv := range []float64{700, 2100, 3500} {
 		opts := sim(par.Hybrid(8))
 		opts.Intvl = iv
 		b.Run(fmt.Sprintf("intvl%.0f", iv), func(b *testing.B) {
+			b.ReportAllocs()
 			var span float64
 			for i := 0; i < b.N; i++ {
 				span = par.PIncDect(w.ds.G, w.rules, w.delta, opts).Metrics.Makespan
@@ -250,6 +274,7 @@ func BenchmarkFig4nVaryIntvl(b *testing.B) {
 // identical in both modes (wall time still gains from skipping the
 // double literal evaluation; see DESIGN.md §3).
 func BenchmarkPruning(b *testing.B) {
+	b.ReportAllocs()
 	p := gen.YAGO2
 	ds := gen.Generate(p, benchEntities, 1)
 	rules := gen.EffectivenessRules(p)
@@ -261,6 +286,7 @@ func BenchmarkPruning(b *testing.B) {
 		off  bool
 	}{{"Dect/pruned", false}, {"Dect/unpruned", true}} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var work float64
 			for i := 0; i < b.N; i++ {
 				r := detect.Dect(ds.G, rules, detect.Options{NoPruning: bc.off})
@@ -274,6 +300,7 @@ func BenchmarkPruning(b *testing.B) {
 		off  bool
 	}{{"IncDect/pruned", false}, {"IncDect/unpruned", true}} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var work float64
 			for i := 0; i < b.N; i++ {
 				r := inc.IncDect(ds.G, rules, d, inc.Options{NoPruning: bc.off})
@@ -291,6 +318,7 @@ func BenchmarkPruning(b *testing.B) {
 // violation store) exists to deliver. cost_units is the deterministic
 // per-stream work metric; updates/sec the wall-clock sustained rate.
 func BenchmarkSessionStream(b *testing.B) {
+	b.ReportAllocs()
 	p := gen.YAGO2
 	ds := gen.Generate(p, benchEntities, 1)
 	rules := gen.Rules(p, gen.RuleConfig{Count: benchRules, MaxDiameter: 5, Seed: 1})
@@ -307,6 +335,7 @@ func BenchmarkSessionStream(b *testing.B) {
 	snapshot := ds.G.Clone()
 
 	b.Run("SessionCommit", func(b *testing.B) {
+		b.ReportAllocs()
 		var cost float64
 		var store int
 		for i := 0; i < b.N; i++ {
@@ -323,6 +352,7 @@ func BenchmarkSessionStream(b *testing.B) {
 		b.ReportMetric(float64(totalOps*b.N)/b.Elapsed().Seconds(), "updates/sec")
 	})
 	b.Run("DectScratch", func(b *testing.B) {
+		b.ReportAllocs()
 		var cost float64
 		var vios int
 		for i := 0; i < b.N; i++ {
@@ -343,10 +373,12 @@ func BenchmarkSessionStream(b *testing.B) {
 
 // BenchmarkExp5Effectiveness: the error-catching study.
 func BenchmarkExp5Effectiveness(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range []gen.Profile{gen.DBpedia, gen.YAGO2, gen.Pokec} {
 		ds := gen.Generate(p, benchEntities, 1)
 		rules := gen.EffectivenessRules(p)
 		b.Run(p.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			var caught int
 			for i := 0; i < b.N; i++ {
 				r := detect.Dect(ds.G, rules, detect.Options{})
@@ -360,10 +392,12 @@ func BenchmarkExp5Effectiveness(b *testing.B) {
 
 // BenchmarkReasoning: §4 static analyses on the Example 5 rule sets.
 func BenchmarkReasoning(b *testing.B) {
+	b.ReportAllocs()
 	phi5 := singleRule("phi5", []string{"x.A = 7", "x.B = 7"})
 	phi6 := singleRule("phi6", []string{"x.A + x.B = 11"})
 	set := core.NewSet(phi5, phi6)
 	b.Run("SatisfiabilityConflict", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if v, err := reason.Satisfiable(set, reason.Options{}); err != nil || v != reason.No {
 				b.Fatalf("unexpected: %v %v", v, err)
@@ -371,6 +405,7 @@ func BenchmarkReasoning(b *testing.B) {
 		}
 	})
 	b.Run("Implication", func(b *testing.B) {
+		b.ReportAllocs()
 		weaker := singleRule("weak", []string{"x.A >= 0"})
 		one := core.NewSet(singleRule("s", []string{"x.A = 7"}))
 		for i := 0; i < b.N; i++ {
@@ -402,13 +437,16 @@ func corePat() *pattern.Pattern {
 // on batch detection. CI runs every benchmark once per commit so these can
 // never bit-rot.
 func BenchmarkPlanProgram(b *testing.B) {
+	b.ReportAllocs()
 	w := mkBench(gen.YAGO2, 0.01, 1)
 	b.Run("IncDectColdPlans", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			inc.IncDect(w.ds.G, w.rules, w.delta, inc.Options{}) // compiles Σ every call
 		}
 	})
 	b.Run("IncDectCachedProgram", func(b *testing.B) {
+		b.ReportAllocs()
 		prog := plan.New(w.ds.G, w.rules, plan.Options{})
 		inc.IncDect(w.ds.G, w.rules, w.delta, inc.Options{Program: prog}) // warm the cache
 		b.ResetTimer()
@@ -420,6 +458,7 @@ func BenchmarkPlanProgram(b *testing.B) {
 		b.ReportMetric(float64(c.Misses), "plan_misses")
 	})
 	b.Run("DectShared", func(b *testing.B) {
+		b.ReportAllocs()
 		prog := plan.New(w.ds.G, w.rules, plan.Options{})
 		var work float64
 		for i := 0; i < b.N; i++ {
@@ -430,6 +469,7 @@ func BenchmarkPlanProgram(b *testing.B) {
 		b.ReportMetric(float64(prog.Counters().SharedRules), "shared_rules")
 	})
 	b.Run("DectPerRule", func(b *testing.B) {
+		b.ReportAllocs()
 		prog := plan.New(w.ds.G, w.rules, plan.Options{NoSharing: true})
 		var work float64
 		for i := 0; i < b.N; i++ {
@@ -449,6 +489,7 @@ func BenchmarkPlanProgram(b *testing.B) {
 // regression. CI runs this at -benchtime 1x and fails the build if the
 // emitted JSON is malformed or missing keys.
 func BenchmarkShardScaling(b *testing.B) {
+	b.ReportAllocs()
 	w := mkBench(gen.Pokec, 0.15, 1)
 	norm := w.delta.Normalize(w.ds.G)
 
@@ -488,12 +529,14 @@ func BenchmarkShardScaling(b *testing.B) {
 		pt := point{P: p, PDectSpeedup: 1, PIncDectSpeedup: 1}
 
 		b.Run(fmt.Sprintf("p%d/PDect", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				par.PDect(w.after, w.rules, opts)
 			}
 			pt.PDectMS = float64(b.Elapsed().Microseconds()) / float64(b.N) / 1000
 		})
 		b.Run(fmt.Sprintf("p%d/PIncDect", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				par.PIncDect(w.ds.G, w.rules, norm, opts)
 			}

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -62,14 +63,17 @@ import (
 )
 
 var (
-	nEntities = flag.Int("n", 1200, "entities per generated graph (scale knob)")
-	seed      = flag.Int64("seed", 1, "base RNG seed")
-	nRules    = flag.Int("rules", 50, "rules in Σ (the paper's default)")
-	nBatches  = flag.Int("batches", 8, "stream/serve: number of update batches to replay")
-	batchPct  = flag.Int("batchpct", 5, "stream: batch size as % of |E|")
-	streamPar = flag.Bool("stream-par", false, "stream: route batches through PIncDect")
-	nReaders  = flag.Int("readers", 8, "serve: concurrent snapshot readers")
-	shardsOut = flag.String("shards-out", "BENCH_shards.json", "shards: machine-readable output path")
+	nEntities  = flag.Int("n", 1200, "entities per generated graph (scale knob)")
+	seed       = flag.Int64("seed", 1, "base RNG seed")
+	nRules     = flag.Int("rules", 50, "rules in Σ (the paper's default)")
+	nBatches   = flag.Int("batches", 8, "stream/serve: number of update batches to replay")
+	batchPct   = flag.Int("batchpct", 5, "stream: batch size as % of |E|")
+	streamPar  = flag.Bool("stream-par", false, "stream: route batches through PIncDect")
+	nReaders   = flag.Int("readers", 8, "serve: concurrent snapshot readers")
+	shardsOut  = flag.String("shards-out", "BENCH_shards.json", "shards: machine-readable output path")
+	allocOut   = flag.String("alloc-out", "BENCH_alloc.json", "alloc: machine-readable output path")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+	memProfile = flag.String("memprofile", "", "write a heap profile (after the experiment) to this file")
 )
 
 func main() {
@@ -77,6 +81,36 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ngdbench [flags] <fig4a..fig4n|exp5|reason|analyze|stream|all>")
 		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
 	}
 	exp := flag.Arg(0)
 	experiments := map[string]func(){
@@ -103,10 +137,11 @@ func main() {
 		"plan":    planExp,
 		"shards":  shardsExp,
 		"repair":  repairExp,
+		"alloc":   allocExp,
 	}
 	if exp == "all" {
 		for _, name := range []string{"fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
-			"fig4g", "fig4h", "fig4i", "fig4j", "fig4k", "fig4l", "fig4m", "fig4n", "exp5", "reason", "analyze", "stream", "serve", "recover", "plan", "shards", "repair"} {
+			"fig4g", "fig4h", "fig4i", "fig4j", "fig4k", "fig4l", "fig4m", "fig4n", "exp5", "reason", "analyze", "stream", "serve", "recover", "plan", "shards", "repair", "alloc"} {
 			experiments[name]()
 			fmt.Println()
 		}
@@ -390,6 +425,129 @@ func shardsExp() {
 	}
 	fmt.Printf("# wrote %s (host_cores=%d; wall-clock speedup needs real cores — CI runs this on multi-core runners)\n",
 		*shardsOut, runtime.NumCPU())
+}
+
+// ---- alloc: allocation profile of the serving hot path ----
+
+// measureAllocs runs f once on the calling goroutine and attributes the
+// runtime's malloc counters to it, normalized per logical operation. A GC
+// settles the heap first so leftover garbage from setup doesn't bill the
+// scenario. Single-goroutine scenarios only: Mallocs is process-global.
+func measureAllocs(ops int, f func()) (allocsPerOp, bytesPerOp float64) {
+	runtime.GC()
+	var m1, m2 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	f()
+	runtime.ReadMemStats(&m2)
+	n := float64(ops)
+	return float64(m2.Mallocs-m1.Mallocs) / n, float64(m2.TotalAlloc-m1.TotalAlloc) / n
+}
+
+// allocExp measures allocs/op and bytes/op on the three serving-layer hot
+// paths — batch Dect, steady-state session commits, and snapshot reads —
+// and writes the result as schema-checked JSON (-alloc-out, default
+// BENCH_alloc.json). These are the numbers the allocation-discipline work
+// is pinned by: EXPERIMENTS.md records the before/after pairs, CI
+// regenerates the file and validates its shape on every push. All three
+// scenarios run sequentially (Parallel off) so the per-op attribution of
+// the process-global malloc counters is exact.
+func allocExp() {
+	p := gen.YAGO2
+	ds := gen.Generate(p, *nEntities, *seed)
+	rules := gen.Rules(p, gen.RuleConfig{Count: *nRules, MaxDiameter: 5, Seed: *seed})
+	st := ds.G.ComputeStats()
+
+	type scenario struct {
+		Name        string  `json:"name"`
+		Ops         int     `json:"ops"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+	}
+	report := struct {
+		Experiment  string     `json:"experiment"`
+		HostCores   int        `json:"host_cores"`
+		Gomaxprocs  int        `json:"gomaxprocs"`
+		Profile     string     `json:"profile"`
+		Entities    int        `json:"entities"`
+		Rules       int        `json:"rules"`
+		Scenarios   []scenario `json:"scenarios"`
+		GeneratedBy string     `json:"generated_by"`
+	}{
+		Experiment: "alloc", HostCores: runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0), Profile: p.Name,
+		Entities: *nEntities, Rules: *nRules,
+		GeneratedBy: "ngdbench alloc",
+	}
+	add := func(name string, ops int, aop, bop float64) {
+		report.Scenarios = append(report.Scenarios, scenario{name, ops, aop, bop})
+		fmt.Printf("%-16s %10d %14.1f %14.1f\n", name, ops, aop, bop)
+	}
+
+	fmt.Printf("# alloc %s: |V|=%d |E|=%d, ‖Σ‖=%d; malloc counters, this host\n",
+		p.Name, st.Nodes, st.Edges, *nRules)
+	fmt.Printf("%-16s %10s %14s %14s\n", "scenario", "ops", "allocs/op", "bytes/op")
+
+	// batch Dect against a warm shared Program: one op = one full detection
+	// pass over the graph
+	prog := plan.New(ds.G, rules, plan.Options{})
+	detect.Dect(ds.G, rules, detect.Options{Program: prog}) // warm plans + indexes
+	const dectOps = 5
+	aop, bop := measureAllocs(dectOps, func() {
+		for i := 0; i < dectOps; i++ {
+			detect.Dect(ds.G, rules, detect.Options{Program: prog})
+		}
+	})
+	add("dect_batch", dectOps, aop, bop)
+
+	// steady-state session commits: serving-shaped point writes (16 ops per
+	// batch). Deltas are pre-generated — update.Random mutates the dataset
+	// (node arrivals), which must not be billed to Commit.
+	const commitWarm, commitOps = 16, 64
+	deltas := make([]*graph.Delta, commitWarm+commitOps)
+	for b := range deltas {
+		deltas[b] = update.Random(ds, update.Config{
+			Size: 16, Gamma: 1, Seed: *seed*271 + int64(b),
+		})
+	}
+	sess := session.New(ds.G, rules, session.Options{})
+	for _, d := range deltas[:commitWarm] {
+		sess.Commit(d)
+	}
+	aop, bop = measureAllocs(commitOps, func() {
+		for _, d := range deltas[commitWarm:] {
+			sess.Commit(d)
+		}
+	})
+	add("session_commit", commitOps, aop, bop)
+
+	// serve query: snapshot handle + violation listing + one point read off
+	// the published epoch, the per-request core of GET /violations
+	srv := serve.New(sess, serve.Options{})
+	const queryOps = 20000
+	srv.Snapshot().Violations() // warm
+	aop, bop = measureAllocs(queryOps, func() {
+		for i := 0; i < queryOps; i++ {
+			sn := srv.Snapshot()
+			vios := sn.Violations()
+			if len(vios) > 0 {
+				sn.Get(vios[i%len(vios)].Key())
+			}
+		}
+	})
+	add("serve_query", queryOps, aop, bop)
+	srv.Close()
+
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alloc: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*allocOut, raw, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "alloc: write %s: %v\n", *allocOut, err)
+		os.Exit(1)
+	}
+	fmt.Printf("# wrote %s\n", *allocOut)
 }
 
 // ---- Exp-5: effectiveness ----

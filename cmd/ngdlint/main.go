@@ -18,6 +18,12 @@
 // goroutine shard runtime, whose balancer ticker is genuinely temporal.
 // Test files are exempt — they may time themselves freely.
 //
+// It also enforces the allocation discipline of the hot detect path: the
+// match, detect and inc packages may not declare map[NodeID]struct{}
+// seen-sets (the pooled graph.NodeSet bitset replaced them; a map there is
+// a per-traversal allocation regression the benchmarks may take weeks to
+// surface).
+//
 // Usage: ngdlint [repo root]   (default ".")
 // Exit 0 = clean, 1 = violations (one "file:line: message" per finding),
 // 2 = bad invocation or unparsable source.
@@ -48,6 +54,12 @@ var banned = map[string]string{
 	"math/rand": "random sources break replay determinism (derive choices from input order)",
 }
 
+// hotPackages are the allocation-disciplined detect-path packages: building
+// a map[NodeID]struct{} seen-set there reintroduces the per-traversal heap
+// churn the pooled graph.NodeSet bitsets removed. Test files are exempt
+// (reference implementations in differential tests use maps on purpose).
+var hotPackages = []string{"internal/match", "internal/detect", "internal/inc"}
+
 func main() {
 	root := "."
 	if len(os.Args) > 2 {
@@ -76,11 +88,26 @@ func main() {
 			findings = append(findings, lintFile(fset, path)...)
 		}
 	}
+	for _, dir := range hotPackages {
+		entries, err := os.ReadDir(filepath.Join(root, dir))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ngdlint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(root, dir, name)
+			findings = append(findings, lintSeenSets(fset, path)...)
+		}
+	}
 	for _, f := range findings {
 		fmt.Println(f)
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "ngdlint: %d determinism violation(s)\n", len(findings))
+		fmt.Fprintf(os.Stderr, "ngdlint: %d violation(s)\n", len(findings))
 		os.Exit(1)
 	}
 }
@@ -132,4 +159,44 @@ func lintFile(fset *token.FileSet, path string) []string {
 		return true
 	})
 	return findings
+}
+
+// lintSeenSets reports every map[NodeID]struct{} (or
+// map[graph.NodeID]struct{}) type in a hot-path file: seen-sets there must
+// use the pooled graph.NodeSet bitset instead.
+func lintSeenSets(fset *token.FileSet, path string) []string {
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ngdlint: %v\n", err)
+		os.Exit(2)
+	}
+	var findings []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		mt, ok := n.(*ast.MapType)
+		if !ok {
+			return true
+		}
+		if !isNodeIDType(mt.Key) {
+			return true
+		}
+		if st, ok := mt.Value.(*ast.StructType); !ok || len(st.Fields.List) != 0 {
+			return true
+		}
+		findings = append(findings, fmt.Sprintf(
+			"%s: map[NodeID]struct{} seen-set on the hot detect path: use graph.AcquireNodeSet / graph.NodeSet",
+			fset.Position(mt.Pos())))
+		return true
+	})
+	return findings
+}
+
+// isNodeIDType matches the identifier NodeID, bare or package-qualified.
+func isNodeIDType(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name == "NodeID"
+	case *ast.SelectorExpr:
+		return t.Sel.Name == "NodeID"
+	}
+	return false
 }

@@ -54,6 +54,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -90,6 +91,8 @@ var (
 	feedBuf   = flag.Int("feed-buffer", 32, "per-subscriber feed buffer; a consumer falling further behind is disconnected")
 	anMode    = flag.String("analyze", "warn", "Σ admission gate: strict (refuse an unsatisfiable Σ, exit 3), warn (log findings, serve anyway), off (skip analysis and minimization)")
 	anTimeout = flag.Duration("analyze-timeout", 30*time.Second, "wall-clock budget for the Σ analysis; exhausted probes degrade to unknown (never refuse)")
+	pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); keeps profiling off the public listener")
+	packSnaps = flag.Bool("pack-snapshots", false, "publish each epoch as a CSR-packed frozen graph copy (cache-linear reader scans; costs O(|V|+|E|) per commit)")
 )
 
 func main() {
@@ -103,7 +106,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	sessOpts := session.Options{Parallel: *parallel, Par: par.Hybrid(*workers)}
+	sessOpts := session.Options{Parallel: *parallel, Par: par.Hybrid(*workers), PackSnapshots: *packSnaps}
 	if gateMode == analyze.ModeOff {
 		sessOpts.Analyze.NoMinimize = true
 	}
@@ -201,6 +204,23 @@ func main() {
 	}
 	srv := serve.New(sess, srvOpts)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// profiling stays on its own listener so exposing the query API never
+	// exposes /debug/pprof; bind it to localhost in production
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil && err != http.ErrServerClosed {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	go func() {
 		log.Printf("listening on %s", *addr)

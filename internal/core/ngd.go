@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"ngd/internal/expr"
@@ -155,6 +156,11 @@ func (n *NGD) String() string {
 // be distinct.
 type Match []graph.NodeID
 
+// Clone returns a private copy of the match. The violation searchers emit
+// matches aliasing reusable scratch bindings, valid only during the emit
+// callback — any caller that retains one must Clone it first.
+func (m Match) Clone() Match { return append(Match(nil), m...) }
+
 // Binding resolves literal terms against a match of n.Pattern in g.
 func (n *NGD) Binding(g graph.View, m Match) expr.Binding {
 	syms := g.Symbols()
@@ -235,14 +241,17 @@ type Violation struct {
 	Match Match
 }
 
-// Key returns a canonical dedup key for the violation.
+// Key returns a canonical dedup key for the violation. Keys are computed on
+// every reconcile/index/feed step of the serving path, so the encoding is
+// hand-rolled: one stack buffer, one string allocation for typical sizes.
 func (v Violation) Key() string {
-	var b strings.Builder
-	b.WriteString(v.Rule.Name)
+	var a [96]byte
+	b := append(a[:0], v.Rule.Name...)
 	for _, id := range v.Match {
-		fmt.Fprintf(&b, ":%d", id)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(id), 10)
 	}
-	return b.String()
+	return string(b)
 }
 
 func (v Violation) String() string {

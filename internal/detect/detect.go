@@ -68,7 +68,7 @@ func Dect(g graph.View, rules *core.Set, opts Options) *Result {
 	}
 	sh := prog.ShareFor(g, rules, opts.NoPruning)
 	res.Counters = RunShared(g, sh, func(r *core.NGD, m core.Match) bool {
-		res.Violations = append(res.Violations, core.Violation{Rule: r, Match: m})
+		res.Violations = append(res.Violations, core.Violation{Rule: r, Match: m.Clone()})
 		return opts.Limit == 0 || len(res.Violations) < opts.Limit
 	})
 	return res
@@ -81,7 +81,7 @@ func dectPerRule(g graph.View, rules *core.Set, prog *plan.Program, opts Options
 		s := NewSearcher(g, c, pl)
 		partial := match.NewPartial(len(r.Pattern.Nodes))
 		stat := s.Run(partial, func(m core.Match) bool {
-			res.Violations = append(res.Violations, core.Violation{Rule: r, Match: m})
+			res.Violations = append(res.Violations, core.Violation{Rule: r, Match: m.Clone()})
 			return opts.Limit == 0 || len(res.Violations) < opts.Limit
 		})
 		res.Counters.Candidates += stat.Candidates
@@ -146,12 +146,29 @@ type Searcher struct {
 	le   *LitEval
 	ySat []int // per-depth cumulative count of satisfied Y literals
 	m    *match.Matcher
+
+	emit    func(core.Match) bool     // current Run's sink
+	onMatch func([]graph.NodeID) bool // bound once (method values allocate)
 }
 
-// NewSearcher prepares a violation search for rule c over g using pl.
+// NewSearcher prepares a violation search for rule c over g using pl. The
+// matcher and its pruning hooks are built here, once — Run only swaps the
+// partial solution in, so repeated Runs (the incremental engines fire one
+// per pivot) allocate nothing.
 func NewSearcher(g graph.View, c *plan.Compiled, pl *match.Plan) *Searcher {
 	s := &Searcher{G: g, C: c, Plan: pl, le: NewLitEval(g, c, pl)}
 	s.ySat = make([]int, len(pl.Steps)+1)
+	s.m = match.NewMatcher(g, pl, match.Hooks{
+		OnExtend: func(k int, p []graph.NodeID) bool {
+			prune, ySat := s.le.EvalLevel(k+1, p, s.ySat[k])
+			if prune {
+				return false
+			}
+			s.ySat[k+1] = ySat
+			return true
+		},
+	})
+	s.onMatch = s.match
 	return s
 }
 
@@ -159,6 +176,9 @@ func NewSearcher(g graph.View, c *plan.Compiled, pl *match.Plan) *Searcher {
 // and already verified with match.VerifyBound by the caller when pivots are
 // used). emit returning false stops the search. It returns the work
 // counters of the underlying matcher.
+//
+// The emitted match aliases the searcher's scratch bindings and is valid
+// only during the emit callback — callers that retain it must Clone it.
 func (s *Searcher) Run(partial []graph.NodeID, emit func(core.Match) bool) match.Counters {
 	// An empty Y is the empty conjunction — true — so nothing can violate.
 	if s.le.NumY() == 0 {
@@ -171,25 +191,87 @@ func (s *Searcher) Run(partial []graph.NodeID, emit func(core.Match) bool) match
 	}
 	s.ySat[0] = ySat0
 
-	hooks := match.Hooks{
-		OnExtend: func(k int, p []graph.NodeID) bool {
-			prune, ySat := s.le.EvalLevel(k+1, p, s.ySat[k])
-			if prune {
-				return false
-			}
-			s.ySat[k+1] = ySat
-			return true
-		},
+	// the matcher persists across Runs, so report this Run's work as a delta
+	before := s.m.Stat
+	s.emit = emit
+	s.m.Run(partial, s.onMatch)
+	s.emit = nil
+
+	st := s.m.Stat
+	st.Candidates -= before.Candidates
+	st.Checks -= before.Checks
+	st.Matches -= before.Matches
+	return st
+}
+
+// Rebind points the searcher at a new view between runs. The plan must stay
+// valid for the view — callers hold plans from the shared program cache and
+// compare plan pointers before rebinding (see SearcherCache). Not safe
+// against a concurrent Run.
+func (s *Searcher) Rebind(v graph.View) {
+	if s.G == v {
+		return
 	}
-	s.m = match.NewMatcher(s.G, s.Plan, hooks)
-	s.m.Run(partial, func(p []graph.NodeID) bool {
-		// all X held (pruned otherwise); violation iff some Y failed
-		if s.ySat[len(s.Plan.Steps)] < s.le.NumY() {
-			return emit(core.Match(append([]graph.NodeID(nil), p...)))
-		}
-		return true
-	})
-	return s.m.Stat
+	s.G = v
+	s.m.G = v
+	s.le.G = v
+}
+
+// SearcherKey identifies a cached pre-bound searcher: the rule plus the
+// bound pattern slots. SlotKey and EdgeSlotKey build the two shapes in use.
+type SearcherKey struct {
+	Rule *core.NGD
+	A, B int
+	Plus bool
+}
+
+// SlotKey keys a single-pattern-slot search (attribute reconciliation and
+// new-node absorption both bind exactly one slot over the session graph).
+func SlotKey(r *core.NGD, slot int) SearcherKey {
+	return SearcherKey{Rule: r, A: slot, B: -1}
+}
+
+// EdgeSlotKey keys an update-pivot search (both endpoints of one pattern
+// edge bound); plus separates the ΔVio⁺ overlay view from the base view,
+// whose plans may differ.
+func EdgeSlotKey(r *core.NGD, src, dst int, plus bool) SearcherKey {
+	return SearcherKey{Rule: r, A: src, B: dst, Plus: plus}
+}
+
+// SearcherCache reuses searchers — and with them their matcher, literal
+// schedule and pooled bindings — across repeated pre-bound searches: the
+// session commit loop fires the same (rule, slot) searches every batch, and
+// rebuilding them dominated the steady-state allocation profile. The zero
+// value is ready to use; not goroutine-safe (one cache per single-writer
+// session).
+type SearcherCache struct {
+	m map[SearcherKey]*Searcher
+}
+
+// Get returns the cached searcher for key, rebinding it to v — or builds
+// and caches one when absent or when the plan changed (the program cache
+// invalidates plans on churn; a stale searcher must not outlive its plan).
+func (sc *SearcherCache) Get(v graph.View, c *plan.Compiled, pl *match.Plan, key SearcherKey) *Searcher {
+	if s := sc.m[key]; s != nil && s.Plan == pl {
+		s.Rebind(v)
+		return s
+	}
+	if sc.m == nil {
+		sc.m = make(map[SearcherKey]*Searcher)
+	}
+	s := NewSearcher(v, c, pl)
+	sc.m[key] = s
+	return s
+}
+
+// match filters complete matches down to violations (bound once as s.onMatch
+// so the per-Run closure allocation disappears).
+func (s *Searcher) match(p []graph.NodeID) bool {
+	// all X held (pruned otherwise); violation iff some Y failed
+	if s.ySat[len(s.Plan.Steps)] < s.le.NumY() {
+		return s.emit(core.Match(p))
+	}
+	return true
 }
 
 // Validate decides G ⊨ Σ (the validation problem, Corollary 4): true iff

@@ -1,6 +1,8 @@
 package detect
 
 import (
+	"sync"
+
 	"ngd/internal/core"
 	"ngd/internal/expr"
 	"ngd/internal/graph"
@@ -20,6 +22,21 @@ type LitEval struct {
 	Rule  *core.NGD
 	G     graph.View
 	sched litSchedule
+
+	// bindings recycles evalBinding closures across EvalLevel calls: the
+	// expression evaluator takes an expr.Binding func value, and capturing
+	// the partial solution in a fresh closure per call was the single
+	// largest allocation source on the detect hot path. A pooled binding's
+	// partial slot is swapped in per call instead; the pool keeps LitEval
+	// safe for concurrent use without per-worker state.
+	bindings sync.Pool
+}
+
+// evalBinding is one recycled closure: fn reads the current partial through
+// the struct so rebinding is a field store, not a new closure.
+type evalBinding struct {
+	partial []graph.NodeID
+	fn      expr.Binding
 }
 
 // NewLitEval builds the evaluation schedule of rule c along plan.
@@ -48,7 +65,9 @@ func NewLitEval(g graph.View, c *plan.Compiled, pl *match.Plan) *LitEval {
 			}
 		}
 	}
-	return &LitEval{Rule: c.Rule, G: g, sched: buildSchedule(c.Rule, pl, skipX)}
+	le := &LitEval{Rule: c.Rule, G: g, sched: buildSchedule(c.Rule, pl, skipX)}
+	le.bindings.New = func() any { return le.newBinding() }
+	return le
 }
 
 // NumY reports |Y|; a match violates iff ySat < NumY at completion.
@@ -63,21 +82,26 @@ func (le *LitEval) HasLits(lv int) bool {
 // Levels reports the number of levels (len(plan.Steps)+1).
 func (le *LitEval) Levels() int { return len(le.sched.xAt) }
 
-func (le *LitEval) binding(partial []graph.NodeID) expr.Binding {
-	syms := le.G.Symbols()
+func (le *LitEval) newBinding() *evalBinding {
+	eb := &evalBinding{}
 	p := le.Rule.Pattern
-	return func(variable, attr string) (graph.Value, bool) {
+	// read le.G per call rather than capturing it: Searcher.Rebind swaps the
+	// view under a cached searcher between runs
+	eb.fn = func(variable, attr string) (graph.Value, bool) {
+		partial := eb.partial
 		idx := p.VarIndex(variable)
 		if idx < 0 || idx >= len(partial) || partial[idx] == match.Unbound {
 			return graph.Value{}, false
 		}
-		a := syms.LookupAttr(attr)
+		g := le.G
+		a := g.Symbols().LookupAttr(attr)
 		if a < 0 {
 			return graph.Value{}, false
 		}
-		v := le.G.Attr(partial[idx], a)
+		v := g.Attr(partial[idx], a)
 		return v, v.Valid()
 	}
+	return eb
 }
 
 // EvalLevel evaluates the literals scheduled at level lv against partial.
@@ -92,7 +116,15 @@ func (le *LitEval) EvalLevel(lv int, partial []graph.NodeID, ySat int) (prune bo
 		}
 		return false, ySat
 	}
-	b := le.binding(partial)
+	eb := le.bindings.Get().(*evalBinding)
+	eb.partial = partial
+	prune, newYSat = le.evalWith(eb.fn, xs, ys, ySat)
+	eb.partial = nil
+	le.bindings.Put(eb)
+	return prune, newYSat
+}
+
+func (le *LitEval) evalWith(b expr.Binding, xs, ys []int, ySat int) (bool, int) {
 	for _, i := range xs {
 		if !le.Rule.X[i].Satisfied(b) {
 			return true, ySat

@@ -47,6 +47,9 @@ type sharedSearcher struct {
 // emit for each (emit returning false stops the whole walk). It returns the
 // accumulated work counters: candidates and checks are counted once per
 // shared scan, which is exactly the point.
+//
+// The emitted match aliases the rule's scratch partial and is valid only
+// during the emit callback — callers that retain it must Clone it.
 func RunShared(v graph.View, sh *plan.Share, emit func(*core.NGD, core.Match) bool) match.Counters {
 	s := &sharedSearcher{
 		v:        v,
@@ -97,7 +100,7 @@ func (s *sharedSearcher) walk(nd *plan.ShareNode) {
 			continue // pruned, or all Y satisfied: not a violation
 		}
 		s.stat.Matches++
-		m := core.Match(append([]graph.NodeID(nil), s.partials[ri]...))
+		m := core.Match(s.partials[ri])
 		if !s.emit(s.sh.Rules[ri].Rule, m) {
 			s.stopped = true
 			return

@@ -128,9 +128,38 @@ func (s *Symbols) Clone() *Symbols {
 	return c
 }
 
+// attrPair is one (attribute, value) entry of a node's tuple. Tuples are
+// stored columnar: a slice sorted by AttrID rather than a map. Nodes carry
+// ≤4 attributes in every generator profile, so the inline sorted slice
+// removes one heap object and the hashing cost per node per lookup, and
+// makes attribute iteration deterministic (sorted by id).
+type attrPair struct {
+	id  AttrID
+	val Value
+}
+
+// attrLinearMax is the tuple arity at or above which findAttr switches
+// from a linear scan to binary search.
+const attrLinearMax = 8
+
+// findAttr locates attribute a in a sorted tuple, returning the index where
+// it lives (or would be inserted) and whether it is present.
+func findAttr(attrs []attrPair, a AttrID) (int, bool) {
+	if len(attrs) < attrLinearMax {
+		for i := range attrs {
+			if attrs[i].id >= a {
+				return i, attrs[i].id == a
+			}
+		}
+		return len(attrs), false
+	}
+	i := sort.Search(len(attrs), func(i int) bool { return attrs[i].id >= a })
+	return i, i < len(attrs) && attrs[i].id == a
+}
+
 type nodeData struct {
 	label LabelID
-	attrs map[AttrID]Value
+	attrs []attrPair // sorted by id; see findAttr
 }
 
 // Graph is a directed, labeled, attributed graph G = (V, E, L, F_A).
@@ -203,24 +232,32 @@ func (g *Graph) SetAttr(v NodeID, name string, val Value) {
 // covering (label(v), a).
 func (g *Graph) SetAttrA(v NodeID, a AttrID, val Value) {
 	nd := &g.nodes[v]
-	if nd.attrs == nil {
-		nd.attrs = make(map[AttrID]Value, 4)
-	}
+	i, found := findAttr(nd.attrs, a)
 	if ix := g.attrIdx[attrIndexKey{nd.label, a}]; ix != nil {
-		if old := nd.attrs[a]; old.Valid() {
-			ix.remove(v, old)
+		if found && nd.attrs[i].val.Valid() {
+			ix.remove(v, nd.attrs[i].val)
 		}
 		if val.Valid() {
 			ix.add(v, val)
 		}
 	}
-	nd.attrs[a] = val
+	if found {
+		nd.attrs[i].val = val
+	} else {
+		nd.attrs = append(nd.attrs, attrPair{})
+		copy(nd.attrs[i+1:], nd.attrs[i:])
+		nd.attrs[i] = attrPair{id: a, val: val}
+	}
 	g.noteChurn()
 }
 
 // Attr returns attribute a of v; the zero Value (invalid) means absent.
 func (g *Graph) Attr(v NodeID, a AttrID) Value {
-	return g.nodes[v].attrs[a]
+	attrs := g.nodes[v].attrs
+	if i, ok := findAttr(attrs, a); ok {
+		return attrs[i].val
+	}
+	return Value{}
 }
 
 // AttrByName returns an attribute by name.
@@ -232,10 +269,10 @@ func (g *Graph) AttrByName(v NodeID, name string) Value {
 	return g.Attr(v, a)
 }
 
-// Attrs iterates the attribute tuple of v.
+// Attrs iterates the attribute tuple of v in ascending AttrID order.
 func (g *Graph) Attrs(v NodeID, fn func(AttrID, Value)) {
-	for a, val := range g.nodes[v].attrs {
-		fn(a, val)
+	for _, p := range g.nodes[v].attrs {
+		fn(p.id, p.val)
 	}
 }
 
@@ -351,13 +388,13 @@ func (g *Graph) Neighborhood(v NodeID, d int) []NodeID {
 // NeighborhoodOf returns the union of V_d(v) over several seed nodes,
 // deduplicated, in BFS discovery order.
 func (g *Graph) NeighborhoodOf(seeds []NodeID, d int) []NodeID {
-	seen := make(map[NodeID]struct{}, len(seeds)*4)
+	seen := AcquireNodeSet(len(g.nodes))
+	defer ReleaseNodeSet(seen)
 	var frontier, result []NodeID
 	for _, s := range seeds {
-		if _, ok := seen[s]; ok {
+		if !seen.Add(s) {
 			continue
 		}
-		seen[s] = struct{}{}
 		frontier = append(frontier, s)
 		result = append(result, s)
 	}
@@ -365,15 +402,13 @@ func (g *Graph) NeighborhoodOf(seeds []NodeID, d int) []NodeID {
 		var next []NodeID
 		for _, u := range frontier {
 			for _, h := range g.out[u] {
-				if _, ok := seen[h.To]; !ok {
-					seen[h.To] = struct{}{}
+				if seen.Add(h.To) {
 					next = append(next, h.To)
 					result = append(result, h.To)
 				}
 			}
 			for _, h := range g.in[u] {
-				if _, ok := seen[h.To]; !ok {
-					seen[h.To] = struct{}{}
+				if seen.Add(h.To) {
 					next = append(next, h.To)
 					result = append(result, h.To)
 				}
@@ -411,11 +446,7 @@ func (g *Graph) Clone() *Graph {
 	copy(c.nodes, g.nodes)
 	for i := range g.nodes {
 		if g.nodes[i].attrs != nil {
-			m := make(map[AttrID]Value, len(g.nodes[i].attrs))
-			for k, v := range g.nodes[i].attrs {
-				m[k] = v
-			}
-			c.nodes[i].attrs = m
+			c.nodes[i].attrs = append([]attrPair(nil), g.nodes[i].attrs...)
 		}
 	}
 	for i := range g.out {

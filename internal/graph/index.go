@@ -228,7 +228,7 @@ func (g *Graph) EnsureAttrIndex(l LabelID, a AttrID) *AttrIndex {
 	// bulk build: append everything, sort once (byLabel lists nodes in
 	// ascending id order, so string postings come out sorted already)
 	for _, v := range g.byLabel[l] {
-		val := g.nodes[v].attrs[a]
+		val := g.Attr(v, a)
 		if !val.Valid() {
 			continue
 		}

@@ -1,0 +1,126 @@
+package graph
+
+// Packed is a CSR-packed frozen copy of a Graph: adjacency, labels and
+// attribute tuples flattened into a handful of contiguous arrays instead of
+// one heap object per node. A Packed is a point-in-time snapshot — it shares
+// nothing with the source graph (symbols included), so readers can scan it
+// while the writer keeps mutating and interning, and the garbage collector
+// sees O(1) pointer-bearing objects where the live graph has O(|V|).
+//
+// Packed implements View; detection over a Packed is differentially tested
+// to produce exactly the violation set of the source graph. It does not
+// implement AttrIndexed — index-seeded plans fall back to label scans, which
+// is the right trade for a snapshot that would otherwise pay a full index
+// rebuild at pack time.
+type Packed struct {
+	syms   *Symbols
+	labels []LabelID
+
+	// out/in adjacency in CSR form: node v's half-edges are
+	// outAdj[outOff[v]:outOff[v+1]], sorted by (Label, To) like the source
+	// lists, so the binary-searched edge checks work unchanged.
+	outOff []int32
+	outAdj []Half
+	inOff  []int32
+	inAdj  []Half
+
+	// attribute tuples, flattened columnar: attrs[attrOff[v]:attrOff[v+1]],
+	// sorted by AttrID within each node.
+	attrOff []int32
+	attrs   []attrPair
+
+	byLabel   map[LabelID][]NodeID
+	edgeCount int
+}
+
+var _ View = (*Packed)(nil)
+
+// Pack builds a CSR snapshot of g. O(|V|+|E|+|A|) time and memory; callers
+// gate it behind an option (session.Options.PackSnapshots) because paying it
+// per epoch only makes sense for read-heavy serving.
+func (g *Graph) Pack() *Packed {
+	n := len(g.nodes)
+	p := &Packed{
+		syms:      g.syms.Clone(),
+		labels:    make([]LabelID, n),
+		outOff:    make([]int32, n+1),
+		inOff:     make([]int32, n+1),
+		attrOff:   make([]int32, n+1),
+		byLabel:   make(map[LabelID][]NodeID, len(g.byLabel)),
+		edgeCount: g.edgeCount,
+	}
+	var outN, inN, attrN int
+	for v := 0; v < n; v++ {
+		p.labels[v] = g.nodes[v].label
+		outN += len(g.out[v])
+		inN += len(g.in[v])
+		attrN += len(g.nodes[v].attrs)
+	}
+	p.outAdj = make([]Half, 0, outN)
+	p.inAdj = make([]Half, 0, inN)
+	p.attrs = make([]attrPair, 0, attrN)
+	for v := 0; v < n; v++ {
+		p.outOff[v] = int32(len(p.outAdj))
+		p.outAdj = append(p.outAdj, g.out[v]...)
+		p.inOff[v] = int32(len(p.inAdj))
+		p.inAdj = append(p.inAdj, g.in[v]...)
+		p.attrOff[v] = int32(len(p.attrs))
+		p.attrs = append(p.attrs, g.nodes[v].attrs...)
+	}
+	p.outOff[n] = int32(len(p.outAdj))
+	p.inOff[n] = int32(len(p.inAdj))
+	p.attrOff[n] = int32(len(p.attrs))
+	for l, ns := range g.byLabel {
+		p.byLabel[l] = append([]NodeID(nil), ns...)
+	}
+	return p
+}
+
+// Symbols returns the snapshot's private symbol table.
+func (p *Packed) Symbols() *Symbols { return p.syms }
+
+// NumNodes reports |V| at pack time.
+func (p *Packed) NumNodes() int { return len(p.labels) }
+
+// NumEdges reports |E| at pack time.
+func (p *Packed) NumEdges() int { return p.edgeCount }
+
+// Label returns the label of v.
+func (p *Packed) Label(v NodeID) LabelID { return p.labels[v] }
+
+// Attr returns attribute a of v; the zero Value means absent.
+func (p *Packed) Attr(v NodeID, a AttrID) Value {
+	attrs := p.attrs[p.attrOff[v]:p.attrOff[v+1]]
+	if i, ok := findAttr(attrs, a); ok {
+		return attrs[i].val
+	}
+	return Value{}
+}
+
+// Out returns the sorted out-adjacency of v. Callers must not mutate it.
+func (p *Packed) Out(v NodeID) []Half { return p.outAdj[p.outOff[v]:p.outOff[v+1]] }
+
+// In returns the sorted in-adjacency of v. Callers must not mutate it.
+func (p *Packed) In(v NodeID) []Half { return p.inAdj[p.inOff[v]:p.inOff[v+1]] }
+
+// HasEdgeL reports whether edge (u -label-> v) exists.
+func (p *Packed) HasEdgeL(u, v NodeID, label LabelID) bool {
+	_, found := searchHalf(p.Out(u), Half{Label: label, To: v})
+	return found
+}
+
+// NodesWithLabel returns the nodes carrying the label (nil for Wildcard).
+func (p *Packed) NodesWithLabel(l LabelID) []NodeID {
+	if l == Wildcard {
+		return nil
+	}
+	return p.byLabel[l]
+}
+
+// CountLabel reports how many nodes carry label l (all nodes for Wildcard).
+func (p *Packed) CountLabel(l LabelID) int {
+	if l == Wildcard {
+		return len(p.labels)
+	}
+	return len(p.byLabel[l])
+}

@@ -1,0 +1,108 @@
+package graph_test
+
+// CSR snapshot differential: a Packed view must be observationally
+// identical to its source graph — structurally (labels, adjacency,
+// attribute tuples, label buckets) and behaviorally (Dect over the Packed
+// view produces exactly the violation set of the live graph) — and fully
+// detached (mutating the source after Pack leaves the snapshot untouched).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"ngd/internal/core"
+	"ngd/internal/detect"
+	"ngd/internal/gen"
+	"ngd/internal/graph"
+)
+
+func canonVios(vs []core.Violation) string {
+	keys := make([]string, 0, len(vs))
+	for k := range detect.VioKeySet(vs) {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+func TestPackedMatchesSource(t *testing.T) {
+	for _, p := range []gen.Profile{gen.DBpedia, gen.YAGO2, gen.Pokec, gen.Synthetic} {
+		for _, seed := range []int64{1, 2} {
+			t.Run(fmt.Sprintf("%s/seed%d", p.Name, seed), func(t *testing.T) {
+				t.Parallel()
+				ds := gen.Generate(p, 150, seed)
+				g := ds.G
+				pk := g.Pack()
+
+				if pk.NumNodes() != g.NumNodes() || pk.NumEdges() != g.NumEdges() {
+					t.Fatalf("size mismatch: packed %d/%d vs graph %d/%d",
+						pk.NumNodes(), pk.NumEdges(), g.NumNodes(), g.NumEdges())
+				}
+				for v := 0; v < g.NumNodes(); v++ {
+					id := graph.NodeID(v)
+					if pk.Label(id) != g.Label(id) {
+						t.Fatalf("node %d: label %d != %d", v, pk.Label(id), g.Label(id))
+					}
+					if got, want := pk.Out(id), g.Out(id); !equalHalves(got, want) {
+						t.Fatalf("node %d: out-adjacency diverged", v)
+					}
+					if got, want := pk.In(id), g.In(id); !equalHalves(got, want) {
+						t.Fatalf("node %d: in-adjacency diverged", v)
+					}
+					g.Attrs(id, func(a graph.AttrID, val graph.Value) {
+						if pv := pk.Attr(id, a); pv != val {
+							t.Fatalf("node %d attr %d: %v != %v", v, a, pv, val)
+						}
+					})
+					for _, h := range g.Out(id) {
+						if !pk.HasEdgeL(id, h.To, h.Label) {
+							t.Fatalf("packed missing edge %d-%d->%d", v, h.Label, h.To)
+						}
+					}
+				}
+				for l := 0; l < g.Symbols().NumLabels(); l++ {
+					lid := graph.LabelID(l)
+					if pk.CountLabel(lid) != g.CountLabel(lid) {
+						t.Fatalf("label %d: count %d != %d", l, pk.CountLabel(lid), g.CountLabel(lid))
+					}
+				}
+
+				// behavioral equivalence: detection over the snapshot
+				rules := gen.Rules(p, gen.RuleConfig{Count: 10, MaxDiameter: 4, Seed: seed})
+				want := canonVios(detect.Dect(g, rules, detect.Options{}).Violations)
+				got := canonVios(detect.Dect(pk, rules, detect.Options{}).Violations)
+				if got != want {
+					t.Fatalf("Dect(Packed) != Dect(G)\npacked:\n%s\ngraph:\n%s", got, want)
+				}
+
+				// detachment: mutations after Pack must not leak in
+				nodesBefore := pk.NumNodes()
+				u := g.AddNode("mutant")
+				g.SetAttr(u, "mutantAttr", graph.Int(1))
+				if g.NumNodes() > 1 {
+					g.AddEdgeL(0, u, 0)
+				}
+				if pk.NumNodes() != nodesBefore {
+					t.Fatal("packed snapshot grew with the source graph")
+				}
+				if pk.Symbols().LookupAttr("mutantAttr") >= 0 {
+					t.Fatal("packed symbols observed post-pack interning")
+				}
+			})
+		}
+	}
+}
+
+func equalHalves(a, b []graph.Half) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -156,13 +156,13 @@ func (o *Overlay) CountLabel(l LabelID) int { return o.base.CountLabel(l) }
 // NeighborhoodOf is the overlay counterpart of Graph.NeighborhoodOf: BFS up
 // to d undirected hops in G ⊕ ΔG.
 func (o *Overlay) NeighborhoodOf(seeds []NodeID, d int) []NodeID {
-	seen := make(map[NodeID]struct{}, len(seeds)*4)
+	seen := AcquireNodeSet(o.NumNodes())
+	defer ReleaseNodeSet(seen)
 	var frontier, result []NodeID
 	for _, s := range seeds {
-		if _, ok := seen[s]; ok {
+		if !seen.Add(s) {
 			continue
 		}
-		seen[s] = struct{}{}
 		frontier = append(frontier, s)
 		result = append(result, s)
 	}
@@ -170,15 +170,13 @@ func (o *Overlay) NeighborhoodOf(seeds []NodeID, d int) []NodeID {
 		var next []NodeID
 		for _, u := range frontier {
 			for _, h := range o.Out(u) {
-				if _, ok := seen[h.To]; !ok {
-					seen[h.To] = struct{}{}
+				if seen.Add(h.To) {
 					next = append(next, h.To)
 					result = append(result, h.To)
 				}
 			}
 			for _, h := range o.In(u) {
-				if _, ok := seen[h.To]; !ok {
-					seen[h.To] = struct{}{}
+				if seen.Add(h.To) {
 					next = append(next, h.To)
 					result = append(result, h.To)
 				}

@@ -70,6 +70,9 @@ type Options struct {
 	// their own so the per-(rule, pivot-slot) plans are compiled once and
 	// served from the cache on every subsequent batch.
 	Program *plan.Program
+	// Searchers reuses pre-bound searchers across calls (see
+	// detect.SearcherCache); nil builds per-call searchers.
+	Searchers *detect.SearcherCache
 }
 
 // IncDect computes ΔVio(Σ, G, ΔG). g is the *pre-update* graph; ΔG is
@@ -114,12 +117,22 @@ func IncDect(g *graph.Graph, rules *core.Set, delta *graph.Delta, opts Options) 
 func (res *Result) search(v graph.View, prog *plan.Program, c *plan.Compiled, ops []graph.EdgeOp,
 	idx map[edgeKey]int, plus bool, opts Options) {
 
-	nPat := len(c.Rule.Pattern.Nodes)
-	// One searcher per pattern-edge slot: the plan and literal schedule are
-	// pivot-independent, and a Searcher is sequentially reusable across
-	// Runs. The plans themselves come from the shared program cache, so the
-	// session's absorption searches and repeated batches reuse them too.
-	searchers := make(map[int]*detect.Searcher)
+	if len(ops) == 0 {
+		return
+	}
+	// Per-call scratch, built on the first pivot that matches a pattern
+	// edge label — a rule whose labels don't appear in ΔG costs nothing:
+	//   - one searcher per pattern-edge slot (plan and literal schedule are
+	//     pivot-independent, and a Searcher is sequentially reusable across
+	//     Runs; with opts.Searchers they also persist across calls, rebound
+	//     to this call's view — the slice only memoizes per-slot resolution)
+	//   - one scratch partial for every (pivot, slot) pair (the searcher
+	//     restores it on return, so only the two seeded slots need unbinding)
+	//   - one emit closure, reading the current pivot through pv
+	var searchers []*detect.Searcher
+	var partial []graph.NodeID
+	var emit func(core.Match) bool
+	var pv pivot
 
 	for rank, op := range ops {
 		for slot, pe := range c.Rule.Pattern.Edges {
@@ -129,36 +142,46 @@ func (res *Result) search(v graph.View, prog *plan.Program, c *plan.Compiled, op
 			if pe.Src == pe.Dst && op.Src != op.Dst {
 				continue
 			}
-			partial := match.NewPartial(nPat)
+			if partial == nil {
+				searchers = make([]*detect.Searcher, len(c.Rule.Pattern.Edges))
+				partial = match.NewPartial(len(c.Rule.Pattern.Nodes))
+				emit = func(m core.Match) bool {
+					if !smallestPivot(v, c, m, idx, pv) {
+						return true
+					}
+					vio := core.Violation{Rule: c.Rule, Match: m.Clone()}
+					if plus {
+						res.Plus = append(res.Plus, vio)
+						return opts.Limit == 0 || len(res.Plus) < opts.Limit
+					}
+					res.Minus = append(res.Minus, vio)
+					return opts.Limit == 0 || len(res.Minus) < opts.Limit
+				}
+			}
 			partial[pe.Src] = op.Src
 			partial[pe.Dst] = op.Dst
 			if !match.VerifyBound(v, c.CP, partial) {
+				partial[pe.Src], partial[pe.Dst] = match.Unbound, match.Unbound
 				continue
 			}
-			s, ok := searchers[slot]
-			if !ok {
+			s := searchers[slot]
+			if s == nil {
 				bound := []int{pe.Src}
 				if pe.Dst != pe.Src {
 					bound = append(bound, pe.Dst)
 				}
 				_, pl := prog.PlanFor(v, c.Rule, bound, opts.NoPruning)
-				s = detect.NewSearcher(v, c, pl)
+				if opts.Searchers != nil {
+					s = opts.Searchers.Get(v, c, pl, detect.EdgeSlotKey(c.Rule, pe.Src, pe.Dst, plus))
+				} else {
+					s = detect.NewSearcher(v, c, pl)
+				}
 				searchers[slot] = s
 			}
 			res.Pivots++
-			pv := pivot{rank: rank, slot: slot}
-			stat := s.Run(partial, func(m core.Match) bool {
-				if !smallestPivot(v, c, m, idx, pv) {
-					return true
-				}
-				vio := core.Violation{Rule: c.Rule, Match: m}
-				if plus {
-					res.Plus = append(res.Plus, vio)
-					return opts.Limit == 0 || len(res.Plus) < opts.Limit
-				}
-				res.Minus = append(res.Minus, vio)
-				return opts.Limit == 0 || len(res.Minus) < opts.Limit
-			})
+			pv = pivot{rank: rank, slot: slot}
+			stat := s.Run(partial, emit)
+			partial[pe.Src], partial[pe.Dst] = match.Unbound, match.Unbound
 			res.Counters.Candidates += stat.Candidates
 			res.Counters.Checks += stat.Checks
 			res.Counters.Matches += stat.Matches

@@ -258,14 +258,93 @@ type engine struct {
 	nodeOf    map[*plan.ShareNode]int
 	sles      []*detect.LitEval
 	sview     graph.View
-	sWidth    []float64 // per forest node: entering-step fan estimate
-	sBelow    []float64 // per forest node: est cost below one candidate
-	smatchers [][]*match.Matcher  // per worker per share rule (lazy)
-	spartials [][][]graph.NodeID  // per worker per share rule scratch
+	sWidth    []float64          // per forest node: entering-step fan estimate
+	sBelow    []float64          // per forest node: est cost below one candidate
+	smatchers [][]*match.Matcher // per worker per share rule (lazy)
+	spartials [][][]graph.NodeID // per worker per share rule scratch
+
+	// pfree/yfree are per-worker freelists recycling unit buffers (binding
+	// slices and forest literal state): a unit is dropped right after its
+	// expansion, so the driver loops return its buffers to the expanding
+	// worker and child units draw from the same lists. Each list is touched
+	// only by its worker's loop (the virtual driver is single-threaded), so
+	// no synchronization is needed — steady-state fan-out allocates nothing.
+	pfree [][][]graph.NodeID
+	yfree [][][]int
+}
+
+// initFree sizes the per-worker buffer freelists.
+func (e *engine) initFree() {
+	e.pfree = make([][][]graph.NodeID, e.opts.P)
+	e.yfree = make([][][]int, e.opts.P)
+}
+
+// newPartialBuf returns an uninitialized length-n binding buffer from worker
+// w's freelist (undersized buffers are discarded — capacities converge to
+// the deepest pattern within a few expansions).
+func (e *engine) newPartialBuf(w, n int) []graph.NodeID {
+	for {
+		fl := e.pfree[w]
+		k := len(fl)
+		if k == 0 {
+			return make([]graph.NodeID, n)
+		}
+		b := fl[k-1]
+		e.pfree[w] = fl[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+}
+
+// clonePartial copies src into a recycled buffer from worker w's freelist.
+func (e *engine) clonePartial(w int, src []graph.NodeID) []graph.NodeID {
+	b := e.newPartialBuf(w, len(src))
+	copy(b, src)
+	return b
+}
+
+// newYSatBuf returns an uninitialized length-n literal-state buffer from
+// worker w's freelist (the forest unit counterpart of newPartialBuf).
+func (e *engine) newYSatBuf(w, n int) []int {
+	for {
+		fl := e.yfree[w]
+		k := len(fl)
+		if k == 0 {
+			return make([]int, n)
+		}
+		b := fl[k-1]
+		e.yfree[w] = fl[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+}
+
+// cloneYSat copies a forest unit's per-rule literal state the same way.
+func (e *engine) cloneYSat(w int, src []int) []int {
+	b := e.newYSatBuf(w, len(src))
+	copy(b, src)
+	return b
+}
+
+// recycle returns a consumed unit's buffers to worker w's freelists. Only
+// call once the unit is dropped — emitted violations hold private copies,
+// never aliases of unit buffers.
+func (e *engine) recycle(w int, u *unit) {
+	if u.partial != nil {
+		e.pfree[w] = append(e.pfree[w], u.partial)
+		u.partial = nil
+	}
+	if u.ySatR != nil {
+		e.yfree[w] = append(e.yfree[w], u.ySatR)
+		u.ySatR = nil
+	}
 }
 
 func newEngine(opts Options, tasks []task) *engine {
 	e := &engine{opts: opts, tasks: tasks}
+	e.initFree()
 	e.matchers = make([][]*match.Matcher, opts.P)
 	for w := 0; w < opts.P; w++ {
 		ms := make([]*match.Matcher, len(tasks))
@@ -421,7 +500,7 @@ func (e *engine) expand(w int, u *unit) expandResult {
 				child := &unit{
 					task: u.task, depth: u.depth, ySat: u.ySat,
 					pivotRank: u.pivotRank, pivotSlot: u.pivotSlot,
-					partial: append([]graph.NodeID(nil), u.partial...),
+					partial: e.clonePartial(w, u.partial),
 					lo:      lo, hi: hi, bcast: true,
 				}
 				res.children = append(res.children, child)
@@ -450,7 +529,7 @@ func (e *engine) expand(w int, u *unit) expandResult {
 			res.children = append(res.children, &unit{
 				task: u.task, depth: u.depth + 1, ySat: ySat,
 				pivotRank: u.pivotRank, pivotSlot: u.pivotSlot,
-				partial: append([]graph.NodeID(nil), u.partial...),
+				partial: e.clonePartial(w, u.partial),
 				lo:      0, hi: -1,
 			})
 		}
@@ -461,15 +540,16 @@ func (e *engine) expand(w int, u *unit) expandResult {
 	return res
 }
 
-// completeAt records a complete match currently held in u.partial.
+// completeAt records a complete match currently held in u.partial. The
+// pivot dedup runs on the scratch bindings; only retained matches copy.
 func (e *engine) completeAt(t *task, u *unit, ySat int, vios []taggedVio) []taggedVio {
 	if ySat >= t.le.NumY() {
 		return vios // all Y satisfied: not a violation
 	}
-	mcopy := core.Match(append([]graph.NodeID(nil), u.partial...))
-	if t.inc && !e.smallestPivot(t, mcopy, u.pivotRank, u.pivotSlot) {
+	if t.inc && !e.smallestPivot(t, u.partial, u.pivotRank, u.pivotSlot) {
 		return vios
 	}
+	mcopy := core.Match(u.partial).Clone()
 	return append(vios, taggedVio{core.Violation{Rule: t.c.Rule, Match: mcopy}, t.plus})
 }
 
@@ -478,10 +558,10 @@ func (e *engine) complete(t *task, u *unit, partial []graph.NodeID, vios []tagge
 	if u.ySat >= t.le.NumY() {
 		return vios
 	}
-	mcopy := core.Match(append([]graph.NodeID(nil), partial...))
-	if t.inc && !e.smallestPivot(t, mcopy, u.pivotRank, u.pivotSlot) {
+	if t.inc && !e.smallestPivot(t, partial, u.pivotRank, u.pivotSlot) {
 		return vios
 	}
+	mcopy := core.Match(partial).Clone()
 	return append(vios, taggedVio{core.Violation{Rule: t.c.Rule, Match: mcopy}, t.plus})
 }
 

@@ -71,12 +71,14 @@ func (r *runState) work(w int) {
 			// Units/cost mean the same thing as under the virtual driver
 			self.addCost(u.xferCharge)
 			r.unitCount.Add(1)
+			e.recycle(w, u)
 			if r.pending.Add(-1) == 0 {
 				r.finish()
 			}
 			continue
 		}
 		res := e.expand(w, u)
+		e.recycle(w, u) // children and violations hold copies, never aliases
 		self.addCost(res.cost)
 		r.unitCount.Add(1)
 		if len(res.children) > 0 {

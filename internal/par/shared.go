@@ -31,6 +31,7 @@ import (
 // nodes, matchers and partial-solution scratch are per worker per rule.
 func newSharedEngine(opts Options, v graph.View, sh *plan.Share) *engine {
 	e := &engine{opts: opts, share: sh, sview: v}
+	e.initFree()
 	e.sles = make([]*detect.LitEval, len(sh.Rules))
 	for i := range sh.Rules {
 		sr := &sh.Rules[i]
@@ -209,8 +210,8 @@ func (e *engine) expandShared(w int, u *unit) expandResult {
 				res.children = append(res.children, &unit{
 					task: u.task, depth: u.depth,
 					pivotRank: -1, pivotSlot: -1,
-					partial: append([]graph.NodeID(nil), u.partial...),
-					ySatR:   append([]int(nil), u.ySatR...),
+					partial: e.clonePartial(w, u.partial),
+					ySatR:   e.cloneYSat(w, u.ySatR),
 					lo:      lo, hi: hi, bcast: true,
 				})
 			}
@@ -257,22 +258,29 @@ func (e *engine) expandShared(w int, u *unit) expandResult {
 		}
 		// fan out the divergent continuations that still carry a live rule
 		for _, gch := range nd.Children {
-			ySatR := make([]int, len(gch.Rules))
 			live := false
 			j := 0
-			for gi, ri := range gch.Rules {
+			for _, ri := range gch.Rules {
 				for nd.Rules[j] != ri {
 					j++
 				}
-				ySatR[gi] = cur[j]
 				if cur[j] >= 0 {
 					live = true
+					break
 				}
 			}
 			if !live {
 				continue
 			}
-			bind := make([]graph.NodeID, d+1)
+			ySatR := e.newYSatBuf(w, len(gch.Rules))
+			j = 0
+			for gi, ri := range gch.Rules {
+				for nd.Rules[j] != ri {
+					j++
+				}
+				ySatR[gi] = cur[j]
+			}
+			bind := e.newPartialBuf(w, d+1)
 			copy(bind, u.partial)
 			bind[d] = cand
 			res.children = append(res.children, &unit{

@@ -100,9 +100,11 @@ func (e *engine) runVirtual(initial [][]*unit, startCost float64) ([]taggedVio, 
 			vw.work += u.xferCharge
 			met.TotalWork += u.xferCharge
 			met.Units++
+			e.recycle(w, u)
 			continue
 		}
 		res := e.expand(w, u)
+		e.recycle(w, u) // children and violations hold copies, never aliases
 		if start < u.ready {
 			start = u.ready
 		}

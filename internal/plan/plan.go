@@ -30,6 +30,7 @@ package plan
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -342,21 +343,30 @@ func ForPattern(v graph.View, cp *pattern.Compiled) *match.Plan {
 	return costPlan(v, cp, nil, nil)
 }
 
-// boundSig canonicalizes a bound-slot set into a cache-key string.
+// boundSig canonicalizes a bound-slot set into a cache-key string. Runs on
+// every PlanFor — one string allocation, stack scratch otherwise.
 func boundSig(bound []int) string {
 	if len(bound) == 0 {
 		return ""
 	}
-	s := append([]int(nil), bound...)
+	var sbuf [16]int
+	var s []int
+	if len(bound) <= len(sbuf) {
+		s = sbuf[:len(bound)]
+		copy(s, bound)
+	} else {
+		s = append([]int(nil), bound...)
+	}
 	sort.Ints(s)
-	var b strings.Builder
+	var bbuf [96]byte
+	b := bbuf[:0]
 	for i, x := range s {
 		if i > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		fmt.Fprintf(&b, "%d", x)
+		b = strconv.AppendInt(b, int64(x), 10)
 	}
-	return b.String()
+	return string(b)
 }
 
 // patternKey canonicalizes a compiled pattern's structure: node labels in

@@ -695,6 +695,7 @@ func TestMalformedParamsRejected(t *testing.T) {
 // against store size: keyset + posting-list seeks keep per-query cost flat
 // while the full-scan baseline grows with the store.
 func BenchmarkViolationQuery(b *testing.B) {
+	b.ReportAllocs()
 	for _, size := range []int{400, 1600} {
 		profile := gen.YAGO2
 		profile.ErrorRate = 0.3
@@ -715,6 +716,7 @@ func BenchmarkViolationQuery(b *testing.B) {
 
 		run := func(name, target string) {
 			b.Run(fmt.Sprintf("%s/store=%d", name, full.Total), func(b *testing.B) {
+				b.ReportAllocs()
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					rec := httptest.NewRecorder()

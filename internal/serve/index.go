@@ -122,7 +122,9 @@ func (ix *vioIndex) apply(ev *session.CommitEvent) *vioIndex {
 	for id, c := range nodes {
 		s := id >> nodeShardBits
 		sh := next.byNode[s]
-		if !cloned[s] {
+		// sh can be nil even when the shard was already cloned: an earlier
+		// id in this loop may have emptied it, deleting it from next.byNode.
+		if !cloned[s] || sh == nil {
 			cl := &nodeShard{keys: make(map[graph.NodeID][]string, 1)}
 			if sh != nil {
 				cl.keys = make(map[graph.NodeID][]string, len(sh.keys))

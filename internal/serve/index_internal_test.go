@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"testing"
+
+	"ngd/internal/core"
+	"ngd/internal/graph"
+	"ngd/internal/session"
+)
+
+// TestApplyEmptiedShardThenAdd pins the copy-on-write edge case where one
+// commit both empties a node shard (deleting it from next.byNode) and
+// touches another id in the same shard: the second edit must recreate the
+// shard instead of dereferencing the deleted one. The loop defeats Go's
+// random map iteration order — the crash only fired when the emptying id
+// happened to be processed first.
+func TestApplyEmptiedShardThenAdd(t *testing.T) {
+	rule := &core.NGD{Name: "r"}
+	old := core.Violation{Rule: rule, Match: core.Match{5}}
+	add := core.Violation{Rule: rule, Match: core.Match{7}}
+	for i := 0; i < 64; i++ {
+		ix := &vioIndex{
+			byRule: map[string][]string{"r": {old.Key()}},
+			byNode: map[graph.NodeID]*nodeShard{
+				0: {keys: map[graph.NodeID][]string{5: {old.Key()}}},
+			},
+		}
+		next := ix.apply(&session.CommitEvent{
+			Removed: []core.Violation{old},
+			Added:   []core.Violation{add},
+		})
+		if got := next.nodeKeys(7); len(got) != 1 || got[0] != add.Key() {
+			t.Fatalf("node 7 postings = %v, want [%s]", got, add.Key())
+		}
+		if got := next.nodeKeys(5); len(got) != 0 {
+			t.Fatalf("node 5 postings = %v, want empty", got)
+		}
+		if got := next.ruleKeys("r"); len(got) != 1 || got[0] != add.Key() {
+			t.Fatalf("rule postings = %v, want [%s]", got, add.Key())
+		}
+	}
+}

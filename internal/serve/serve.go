@@ -23,6 +23,7 @@ package serve
 
 import (
 	"errors"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -142,9 +143,41 @@ type Stats struct {
 	FeedBacklog int `json:"feed_backlog"`
 	FeedOldest  int `json:"feed_oldest"`
 
+	// Mem reports process heap and GC counters (runtime.ReadMemStats) so
+	// allocation-discipline regressions show up in operations dashboards:
+	// a healthy steady-state server shows mallocs growing slowly relative
+	// to commits and num_gc roughly flat between batches.
+	Mem MemCounters `json:"mem"`
+
 	// LastBatch reports what the most recent commit did (nil before the
 	// first commit).
 	LastBatch *session.BatchStats `json:"last_batch,omitempty"`
+}
+
+// MemCounters is the /stats memory block, a stable subset of
+// runtime.MemStats.
+type MemCounters struct {
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`  // live heap
+	HeapObjects     uint64 `json:"heap_objects"`      // live objects
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"` // cumulative allocated bytes
+	Mallocs         uint64 `json:"mallocs"`           // cumulative allocations
+	NumGC           uint32 `json:"num_gc"`            // completed GC cycles
+	GCPauseTotalNs  uint64 `json:"gc_pause_total_ns"` // cumulative stop-the-world pause
+	SysBytes        uint64 `json:"sys_bytes"`         // OS-reserved virtual memory
+}
+
+func readMemCounters() MemCounters {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return MemCounters{
+		HeapAllocBytes:  ms.HeapAlloc,
+		HeapObjects:     ms.HeapObjects,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		NumGC:           ms.NumGC,
+		GCPauseTotalNs:  ms.PauseTotalNs,
+		SysBytes:        ms.Sys,
+	}
 }
 
 // Ack is the handle Enqueue returns for one update request. Done is
@@ -309,6 +342,7 @@ func (s *Server) Stats() Stats {
 	}
 	floor, backlog, subs := s.feed.stats()
 	return Stats{
+		Mem:             readMemCounters(),
 		FeedSubs:        subs,
 		FeedBacklog:     backlog,
 		FeedOldest:      floor,

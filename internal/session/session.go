@@ -74,6 +74,13 @@ type Options struct {
 	// Analyze.Reason budgets the implication probes. Dropped rule names
 	// are reported by DroppedRules.
 	Analyze analyze.Options
+	// PackSnapshots attaches a CSR-packed frozen copy of the graph
+	// (graph.Packed) to every published Snapshot, readable via
+	// Snapshot.Graph while the writer keeps committing. Off by default:
+	// packing costs O(|V|+|E|) per epoch, worth paying only when readers
+	// actually scan graph structure (ad-hoc detection over a snapshot,
+	// analytics) rather than just the violation store.
+	PackSnapshots bool
 }
 
 // BatchStats reports what one Commit did.
@@ -177,6 +184,11 @@ type Session struct {
 	// IncDect/PIncDect, absorption searches — draws plans from it.
 	prog *plan.Program
 
+	// searchers reuses pre-bound violation searchers across commits: the
+	// same (rule, slot) searches fire every batch, and rebuilding their
+	// matchers and literal schedules dominated steady-state allocations.
+	searchers detect.SearcherCache
+
 	// store is the live violation set, keyed by core.Violation.Key.
 	store map[string]core.Violation
 	// edgeRules (patterns with ≥1 edge) produce update pivots and go to the
@@ -226,6 +238,19 @@ type Snapshot struct {
 
 	vios  []core.Violation
 	index map[string]int
+	// packed is the epoch's CSR graph snapshot (Options.PackSnapshots).
+	packed *graph.Packed
+}
+
+// Graph returns the epoch's frozen CSR copy of the graph, or nil when the
+// session does not pack snapshots (Options.PackSnapshots). The copy shares
+// nothing with the live graph — symbols included — so it is safe to scan
+// (including running detection over it) while the writer commits.
+func (sn *Snapshot) Graph() graph.View {
+	if sn.packed == nil {
+		return nil
+	}
+	return sn.packed
 }
 
 // Len reports |Vio(Σ, G)| at the snapshot's epoch.
@@ -461,6 +486,9 @@ func (s *Session) Snapshot() *Snapshot {
 		sn.index[k] = len(sn.vios)
 		sn.vios = append(sn.vios, s.store[k])
 	}
+	if s.opts.PackSnapshots {
+		sn.packed = s.g.Pack()
+	}
 	s.snap = sn
 	return sn
 }
@@ -567,6 +595,7 @@ func (s *Session) CommitBatch(d *graph.Delta, attrs []graph.AttrOp) BatchStats {
 				NoPruning:        s.opts.NoPruning,
 				AssumeNormalized: true,
 				Program:          s.prog,
+				Searchers:        &s.searchers,
 			})
 			plus, minus = r.Plus, r.Minus
 			st.Cost = float64(r.Counters.Candidates + r.Counters.Checks)
@@ -636,17 +665,21 @@ func (s *Session) CommitBatch(d *graph.Delta, attrs []graph.AttrOp) BatchStats {
 // slot it can occupy. The store's Has-guard dedupes a match reachable from
 // several touched nodes or slots.
 func (s *Session) applyAttrOps(attrs []graph.AttrOp, add, rem func(core.Violation)) (plus, minus int) {
-	touched := make(map[graph.NodeID]bool)
+	touchedSet := graph.AcquireNodeSet(s.g.NumNodes())
+	defer graph.ReleaseNodeSet(touchedSet)
+	touched := make([]graph.NodeID, 0, len(attrs))
 	for _, op := range attrs {
 		s.g.SetAttrA(op.Node, op.Attr, op.Val)
-		touched[op.Node] = true
+		if touchedSet.Add(op.Node) {
+			touched = append(touched, op.Node)
+		}
 	}
 
 	// drop stored violations a touched node no longer sustains
 	for k, v := range s.store {
 		binds := false
 		for _, n := range v.Match {
-			if touched[n] {
+			if touchedSet.Has(n) {
 				binds = true
 				break
 			}
@@ -660,32 +693,35 @@ func (s *Session) applyAttrOps(attrs []graph.AttrOp, add, rem func(core.Violatio
 	}
 
 	// find matches a touched node now violates: one pre-bound search per
-	// (rule, slot, touched node) with a label-compatible binding
+	// (rule, slot, touched node) with a label-compatible binding. One
+	// scratch partial per rule serves every (slot, node) pair — the searcher
+	// restores it on return, so only the seeded slot needs unbinding.
 	for _, r := range s.rules.Rules {
 		if len(r.Y) == 0 {
 			continue // X → ∅ can never be violated
 		}
 		c := s.prog.CompiledFor(r)
 		nPat := len(r.Pattern.Nodes)
+		partial := match.NewPartial(nPat)
 		for slot := 0; slot < nPat; slot++ {
 			var searcher *detect.Searcher
-			for n := range touched {
+			for _, n := range touched {
 				if !c.CP.NodeMatches(slot, s.g.Label(n)) {
 					continue
 				}
-				partial := match.NewPartial(nPat)
 				partial[slot] = n
 				// a self-loop pattern edge at the bound slot is fully bound
 				// before the search starts; VerifyBound checks it
 				if !match.VerifyBound(s.g, c.CP, partial) {
+					partial[slot] = match.Unbound
 					continue
 				}
 				if searcher == nil {
 					_, pl := s.prog.PlanFor(s.g, r, []int{slot}, s.opts.NoPruning)
-					searcher = detect.NewSearcher(s.g, c, pl)
+					searcher = s.searchers.Get(s.g, c, pl, detect.SlotKey(r, slot))
 				}
 				searcher.Run(partial, func(m core.Match) bool {
-					vio := core.Violation{Rule: r, Match: m}
+					vio := core.Violation{Rule: r, Match: m.Clone()}
 					if k := vio.Key(); !s.Has(k) {
 						s.store[k] = vio
 						add(vio)
@@ -693,6 +729,7 @@ func (s *Session) applyAttrOps(attrs []graph.AttrOp, add, rem func(core.Violatio
 					}
 					return true
 				})
+				partial[slot] = match.Unbound
 			}
 		}
 	}
@@ -723,6 +760,7 @@ func (s *Session) absorbNewNodes() []core.Violation {
 		}
 		c := s.prog.CompiledFor(ir.rule)
 		nPat := len(ir.rule.Pattern.Nodes)
+		partial := match.NewPartial(nPat)
 		for _, slot := range ir.slots {
 			var searcher *detect.Searcher
 			for v := lo; v < n; v++ {
@@ -732,9 +770,8 @@ func (s *Session) absorbNewNodes() []core.Violation {
 				}
 				if searcher == nil {
 					_, pl := s.prog.PlanFor(s.g, ir.rule, []int{slot}, s.opts.NoPruning)
-					searcher = detect.NewSearcher(s.g, c, pl)
+					searcher = s.searchers.Get(s.g, c, pl, detect.SlotKey(ir.rule, slot))
 				}
-				partial := match.NewPartial(nPat)
 				partial[slot] = id
 				searcher.Run(partial, func(m core.Match) bool {
 					for _, s2 := range ir.slots {
@@ -745,13 +782,14 @@ func (s *Session) absorbNewNodes() []core.Violation {
 							return true // a smaller isolated slot owns this match
 						}
 					}
-					vio := core.Violation{Rule: ir.rule, Match: m}
+					vio := core.Violation{Rule: ir.rule, Match: m.Clone()}
 					if k := vio.Key(); !s.Has(k) {
 						s.store[k] = vio
 						absorbed = append(absorbed, vio)
 					}
 					return true
 				})
+				partial[slot] = match.Unbound
 			}
 		}
 	}
